@@ -1,0 +1,40 @@
+#ifndef XSSD_BENCH_BENCH_UTIL_H_
+#define XSSD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.h"
+#include "pcie/fabric.h"
+
+namespace xssd::bench {
+
+/// Villars configuration matching the paper's prototype environment (§6):
+/// PCIe Gen2 ×4 (2 GB/s) for the CMB experiments, SRAM 4 GB/s / DRAM
+/// 2 GB/s shared backing, 16 KiB flash pages, ~2 GB/s flash array.
+inline core::VillarsConfig PaperVillarsConfig(core::BackingKind backing) {
+  core::VillarsConfig config;
+  config.cmb.backing = backing;
+  if (backing == core::BackingKind::kDram) {
+    // 128 MiB DRAM CMB would dominate memory; 8 MiB preserves behaviour
+    // (the ring never limits; bandwidth does).
+    config.cmb.ring_bytes = 8ull << 20;
+  }
+  config.destage.ring_lba_count = 2048;
+  return config;
+}
+
+inline pcie::FabricConfig PaperFabricConfig() {
+  pcie::FabricConfig config;
+  config.generation = 2;
+  config.lanes = 4;
+  return config;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace xssd::bench
+
+#endif  // XSSD_BENCH_BENCH_UTIL_H_

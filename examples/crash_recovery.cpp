@@ -1,0 +1,101 @@
+// Crash consistency: append a WAL, cut the power mid-stream, let the
+// supercap-backed emergency destage drain the fast side, reboot, and
+// recover the log from the conventional-side destage ring — verifying the
+// paper's §4.1 guarantee: everything the credit counter acknowledged is
+// recovered, and the recovered stream never spans a gap.
+//
+// Build & run:   ./build/examples/crash_recovery
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "db/log_record.h"
+#include "host/node.h"
+#include "host/recovery.h"
+#include "host/xcalls.h"
+
+using namespace xssd;
+
+int main() {
+  sim::Simulator sim;
+  core::VillarsConfig config;
+  host::StorageNode node(&sim, config, pcie::FabricConfig{}, "crash");
+  if (!node.Init().ok()) return 1;
+
+  // Build a WAL of real serialized log records so recovery can replay it.
+  std::vector<uint8_t> wal;
+  for (uint64_t txn = 1; txn <= 2000; ++txn) {
+    db::LogRecord record;
+    record.txn_id = txn;
+    record.table_id = 1;
+    record.op = db::LogOp::kUpdate;
+    record.key = txn * 17;
+    record.payload.assign(100, static_cast<uint8_t>(txn));
+    db::SerializeLogRecord(record, &wal);
+  }
+
+  // Append record by record (as a database would), and cut the power while
+  // the stream is still flowing.
+  size_t submitted = 0;
+  std::function<void()> append_next = [&]() {
+    size_t chunk = std::min<size_t>(129, wal.size() - submitted);
+    if (chunk == 0) return;
+    node.client().Append(wal.data() + submitted, chunk,
+                         [&](Status) { append_next(); });
+    submitted += chunk;
+  };
+  append_next();
+  sim.RunFor(sim::Us(60));  // part of the stream is through; part is not
+
+  uint64_t acknowledged = node.device().cmb().local_credit();
+  std::printf("power fails: %zu/%zu bytes submitted, %lu persistent "
+              "(credit counter)\n",
+              submitted, wal.size(), acknowledged);
+
+  bool destaged = false;
+  node.device().PowerFail([&]() { destaged = true; });
+  sim.RunFor(sim::Ms(50));
+  if (!destaged) {
+    std::fprintf(stderr, "emergency destage did not finish\n");
+    return 1;
+  }
+  std::printf("supercap destage complete; device halted\n");
+
+  node.device().Reboot();
+  std::printf("device rebooted (epoch %u); scanning the destage ring...\n",
+              node.device().epoch());
+
+  Result<host::RecoveredLog> recovered = host::RecoverLog(
+      sim, node.driver(), node.device().destage().ring_start_lba(),
+      node.device().destage().ring_lba_count());
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recovered [%lu, %lu): %zu bytes from %lu valid pages\n",
+              recovered->start_offset, recovered->end_offset(),
+              recovered->data.size(), recovered->pages_valid);
+
+  // Guarantee 1: at least everything acknowledged is back.
+  if (recovered->end_offset() < acknowledged) {
+    std::fprintf(stderr, "LOST ACKNOWLEDGED DATA\n");
+    return 1;
+  }
+  // Guarantee 2: the bytes match what was written.
+  if (std::memcmp(recovered->data.data(), wal.data(),
+                  recovered->data.size()) != 0) {
+    std::fprintf(stderr, "RECOVERED BYTES DIFFER\n");
+    return 1;
+  }
+  // Replay: parse records, stopping cleanly at the torn tail.
+  bool torn = false;
+  auto records = db::ParseLogStream(recovered->data, &torn);
+  std::printf("replayed %zu complete log records (%s tail)\n",
+              records.size(), torn ? "torn" : "clean");
+  std::printf("crash-consistency contract holds: acknowledged %lu <= "
+              "recovered %lu, no gaps\n",
+              acknowledged, recovered->end_offset());
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef XSSD_COMMON_LOGGING_H_
+#define XSSD_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace xssd {
+
+/// Diagnostic log severities. The library is quiet by default (kWarning);
+/// tests and tools can lower the threshold for tracing.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+};
+
+/// Global severity threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream-collecting helper behind the XSSD_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace xssd
+
+#define XSSD_LOG(severity)                                               \
+  if (::xssd::LogLevel::severity < ::xssd::GetLogLevel()) {              \
+  } else                                                                 \
+    ::xssd::internal_logging::LogMessage(::xssd::LogLevel::severity,     \
+                                         __FILE__, __LINE__)             \
+        .stream()
+
+/// Invariant check that stays on in release builds; prints and aborts.
+#define XSSD_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::xssd::internal_logging::Emit(::xssd::LogLevel::kError, __FILE__,    \
+                                     __LINE__, "CHECK failed: " #cond);     \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#endif  // XSSD_COMMON_LOGGING_H_

@@ -1,0 +1,20 @@
+#ifndef XSSD_COMMON_UNITS_H_
+#define XSSD_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace xssd {
+
+/// Byte-size constants. All capacities in the library are expressed in bytes
+/// using these helpers; no raw "1024 * 1024" literals on call sites.
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+}  // namespace xssd
+
+#endif  // XSSD_COMMON_UNITS_H_

@@ -1,0 +1,137 @@
+#include "core/cmb_module.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace xssd::core {
+
+namespace {
+double BackingRate(const CmbConfig& config) {
+  if (config.backing == BackingKind::kSram) return config.sram_bytes_per_sec;
+  return config.dram_bytes_per_sec * config.dram_available_fraction;
+}
+}  // namespace
+
+CmbModule::CmbModule(sim::Simulator* sim, const CmbConfig& config)
+    : sim_(sim),
+      config_(config),
+      backing_bytes_per_sec_(BackingRate(config)),
+      backing_(sim, backing_bytes_per_sec_, config.persist_overhead),
+      ring_(config.ring_bytes, 0) {
+  XSSD_CHECK(config_.queue_bytes > 0);
+  XSSD_CHECK(config_.ring_bytes >= config_.queue_bytes);
+}
+
+uint64_t CmbModule::InferStreamOffset(uint64_t ring_offset) const {
+  XSSD_CHECK(ring_offset < config_.ring_bytes);
+  uint64_t base = credit_;
+  uint64_t base_ring = base % config_.ring_bytes;
+  uint64_t delta =
+      (ring_offset + config_.ring_bytes - base_ring) % config_.ring_bytes;
+  return base + delta;
+}
+
+void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
+                            size_t len) {
+  XSSD_CHECK(ring_offset + len <= config_.ring_bytes);
+  uint64_t stream_offset = InferStreamOffset(ring_offset);
+
+  // Ring-overwrite check: a conforming host never writes bytes that would
+  // clobber data the Destage module has not yet moved out.
+  if (stream_offset + len > destaged_floor_ + config_.ring_bytes) {
+    if (overwrite_violations_ == 0) {
+      XSSD_LOG(kWarning) << "CMB write overwrote un-destaged ring data "
+                            "(advisory flow control not respected; "
+                            "counting silently from here on)";
+    }
+    ++overwrite_violations_;
+  }
+
+  if (arrival_hook_) arrival_hook_(stream_offset, data, len);
+
+  // Stage, then proactively dequeue into backing memory (Figure 5, 1→2).
+  staging_.push_back(Staged{stream_offset, std::vector<uint8_t>(data, data + len)});
+  staging_bytes_ += len;
+  backing_.Acquire(len, [this, epoch = drain_epoch_]() {
+    // Stale events from before a power-loss drain or reboot are ignored.
+    if (epoch != drain_epoch_ || staging_.empty()) return;
+    Staged chunk = std::move(staging_.front());
+    staging_.pop_front();
+    staging_bytes_ -= chunk.data.size();
+    Persist(chunk.stream_offset, std::move(chunk.data));
+  });
+}
+
+void CmbModule::Persist(uint64_t stream_offset, std::vector<uint8_t> data) {
+  uint64_t ring_at = stream_offset % config_.ring_bytes;
+  size_t first = static_cast<size_t>(
+      std::min<uint64_t>(data.size(), config_.ring_bytes - ring_at));
+  std::memcpy(ring_.data() + ring_at, data.data(), first);
+  if (first < data.size()) {
+    std::memcpy(ring_.data(), data.data() + first, data.size() - first);
+  }
+  received_.Insert(stream_offset, stream_offset + data.size());
+  highest_received_ =
+      std::max(highest_received_, stream_offset + data.size());
+  AdvanceCredit();
+}
+
+void CmbModule::AdvanceCredit() {
+  // Figure 5 step 3: the counter is incremented only after data reached
+  // backing memory, and only over contiguous chunks.
+  uint64_t new_credit = received_.ContiguousEnd(credit_);
+  if (new_credit != credit_) {
+    credit_ = new_credit;
+    received_.TrimBelow(destaged_floor_);  // bounded metadata
+    if (credit_hook_) credit_hook_(credit_);
+  }
+}
+
+void CmbModule::ReadRing(uint64_t ring_offset, uint8_t* out,
+                         size_t len) const {
+  XSSD_CHECK(ring_offset + len <= config_.ring_bytes);
+  std::memcpy(out, ring_.data() + ring_offset, len);
+}
+
+void CmbModule::CopyOut(uint64_t stream_offset, uint8_t* out,
+                        size_t len) const {
+  XSSD_CHECK(stream_offset + len <= credit_);
+  XSSD_CHECK(stream_offset + config_.ring_bytes >= credit_);
+  uint64_t ring_at = stream_offset % config_.ring_bytes;
+  size_t first = static_cast<size_t>(
+      std::min<uint64_t>(len, config_.ring_bytes - ring_at));
+  std::memcpy(out, ring_.data() + ring_at, first);
+  if (first < len) std::memcpy(out + first, ring_.data(), len - first);
+}
+
+bool CmbModule::HasPendingBeyondCredit() const {
+  return staging_bytes_ > 0 || received_.HasGapAfter(credit_) ||
+         highest_received_ > credit_;
+}
+
+void CmbModule::DrainStagingForPowerLoss() {
+  // The supercaps keep the SRAM queue and PM alive; everything already
+  // inside the device is flushed to the ring. Bytes still on the PCIe link
+  // never arrived and are simply absent (potentially leaving a gap).
+  ++drain_epoch_;
+  while (!staging_.empty()) {
+    Staged chunk = std::move(staging_.front());
+    staging_.pop_front();
+    staging_bytes_ -= chunk.data.size();
+    Persist(chunk.stream_offset, std::move(chunk.data));
+  }
+}
+
+void CmbModule::ResetForReboot() {
+  ++drain_epoch_;
+  std::fill(ring_.begin(), ring_.end(), 0);
+  received_.Clear();
+  staging_.clear();
+  staging_bytes_ = 0;
+  credit_ = 0;
+  highest_received_ = 0;
+  destaged_floor_ = 0;
+}
+
+}  // namespace xssd::core

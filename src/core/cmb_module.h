@@ -1,0 +1,134 @@
+#ifndef XSSD_CORE_CMB_MODULE_H_
+#define XSSD_CORE_CMB_MODULE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/bandwidth_server.h"
+#include "sim/interval_set.h"
+#include "sim/simulator.h"
+
+namespace xssd::core {
+
+/// \brief The CMB module (paper §4.1): the fast side's intake.
+///
+/// Writes arriving on the byte-addressable window land in an SRAM staging
+/// queue, are proactively drained into the PM backing ring, and — only once
+/// they reach backing memory — advance the credit counter over the
+/// contiguous prefix of the append stream. This ordering (Figure 5: queue →
+/// backing → counter) is the device's persistence contract: a byte is
+/// persistent iff the credit counter has moved past it.
+///
+/// The ring is addressed by *stream offset*: the writer appends at
+/// monotonically increasing offsets, and ring address = offset mod ring
+/// size. Arrival may be mostly-sequential (out of order within the staging
+/// window); credit only ever advances over gap-free data.
+class CmbModule {
+ public:
+  /// Fires with the new local credit each time it advances.
+  using CreditHook = std::function<void(uint64_t credit)>;
+  /// Fires on every chunk arrival (before persistence) with the stream
+  /// offset — the Transport module's mirror tap (Figure 6 step 1).
+  using ArrivalHook =
+      std::function<void(uint64_t stream_offset, const uint8_t* data,
+                         size_t len)>;
+
+  CmbModule(sim::Simulator* sim, const CmbConfig& config);
+
+  CmbModule(const CmbModule&) = delete;
+  CmbModule& operator=(const CmbModule&) = delete;
+
+  /// A memory-write TLP landed on the ring window at `ring_offset`.
+  void OnRingWrite(uint64_t ring_offset, const uint8_t* data, size_t len);
+
+  /// Serve a read of the ring window (CMB is readable per the standard).
+  void ReadRing(uint64_t ring_offset, uint8_t* out, size_t len) const;
+
+  /// Bytes persisted into the PM ring, contiguous from stream offset 0.
+  uint64_t local_credit() const { return credit_; }
+
+  uint64_t ring_bytes() const { return config_.ring_bytes; }
+  uint64_t queue_bytes() const { return config_.queue_bytes; }
+
+  /// Bytes currently in the staging queue (arrived, not yet persisted).
+  uint64_t staging_occupancy() const { return staging_bytes_; }
+
+  /// Copy persisted stream bytes [stream_offset, +len) out of the ring —
+  /// the Destage module's read path. The range must lie within the last
+  /// ring_bytes of the stream and be below local_credit().
+  void CopyOut(uint64_t stream_offset, uint8_t* out, size_t len) const;
+
+  /// The Destage module reports progress so the module can detect ring
+  /// overwrites of un-destaged data (a protocol violation by the host).
+  void set_destaged_floor(uint64_t stream_offset) {
+    destaged_floor_ = stream_offset;
+  }
+  uint64_t destaged_floor() const { return destaged_floor_; }
+
+  /// Count of writes that clobbered not-yet-destaged bytes (diagnostics;
+  /// zero under a conforming host).
+  uint64_t overwrite_violations() const { return overwrite_violations_; }
+
+  void SetCreditHook(CreditHook hook) { credit_hook_ = std::move(hook); }
+  void SetArrivalHook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
+
+  /// Crash protocol step 1: on power failure the staging queue is drained
+  /// into the PM ring using residual energy (functional, instantaneous in
+  /// virtual time — the caps hold the device up). Credit advances as usual,
+  /// including over chunks that were still queued.
+  void DrainStagingForPowerLoss();
+
+  /// Reset to a pristine fast side (reboot after destage). The stream
+  /// restarts at offset 0 in a new epoch.
+  void ResetForReboot();
+
+  /// Highest stream offset received (gaps may exist below it).
+  uint64_t highest_received() const { return highest_received_; }
+  /// True if some byte above the credit has arrived (i.e. a gap or
+  /// in-staging data exists).
+  bool HasPendingBeyondCredit() const;
+
+  double backing_bytes_per_sec() const { return backing_bytes_per_sec_; }
+  sim::BandwidthServer& backing_port() { return backing_; }
+
+ private:
+  /// Infer the stream offset a ring-window write addresses. The writer may
+  /// run up to one staging window ahead of the credit, so the unique
+  /// candidate in [credit, credit + ring) is correct for conforming hosts.
+  uint64_t InferStreamOffset(uint64_t ring_offset) const;
+
+  /// Move one staged chunk into backing memory (persist point).
+  void Persist(uint64_t stream_offset, std::vector<uint8_t> data);
+
+  void AdvanceCredit();
+
+  sim::Simulator* sim_;
+  CmbConfig config_;
+  double backing_bytes_per_sec_;
+  sim::BandwidthServer backing_;
+
+  std::vector<uint8_t> ring_;
+  sim::IntervalSet received_;       ///< persisted stream intervals
+  uint64_t credit_ = 0;             ///< contiguous persisted prefix
+  uint64_t highest_received_ = 0;
+  uint64_t destaged_floor_ = 0;
+  uint64_t staging_bytes_ = 0;
+  uint64_t overwrite_violations_ = 0;
+
+  struct Staged {
+    uint64_t stream_offset;
+    std::vector<uint8_t> data;
+  };
+  std::deque<Staged> staging_;  ///< arrived, persist event pending
+  uint64_t drain_epoch_ = 0;    ///< invalidates stale persist events
+
+  CreditHook credit_hook_;
+  ArrivalHook arrival_hook_;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_CMB_MODULE_H_

@@ -1,0 +1,105 @@
+#ifndef XSSD_CORE_CONFIG_H_
+#define XSSD_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "flash/geometry.h"
+#include "flash/timing.h"
+#include "ftl/ftl.h"
+#include "ftl/scheduler.h"
+#include "sim/time.h"
+
+namespace xssd::core {
+
+/// Memory technology backing the CMB area (paper §4.1 evaluates both).
+enum class BackingKind {
+  kSram,  ///< FPGA BlockRAM: 128-bit @ 250 MHz = 4 GB/s, small (128 KiB)
+  kDram,  ///< device DDR3: 64-bit @ 250 MHz = 2 GB/s, shared, large (128 MiB)
+};
+
+/// \brief Fast-side (CMB module) configuration.
+struct CmbConfig {
+  BackingKind backing = BackingKind::kSram;
+  /// PM ring capacity. Paper: 128 KiB (SRAM) / 128 MiB (DRAM).
+  uint64_t ring_bytes = 128 * kKiB;
+  /// Staging-queue size pre-negotiated with the database (§4.1); the flow-
+  /// control window. Paper finds 32 KiB best (§6.3).
+  uint64_t queue_bytes = 32 * kKiB;
+  /// Raw SRAM port bandwidth.
+  double sram_bytes_per_sec = 4e9;
+  /// Raw DRAM port bandwidth (DDR3 through the 64-bit bus).
+  double dram_bytes_per_sec = 2e9;
+  /// Fraction of DRAM bandwidth left for CMB after the device's regular
+  /// data-buffering activity (the DRAM is shared; §6 implementation notes).
+  /// The CMB intake and the destage module's ring reads both draw from
+  /// this budget.
+  double dram_available_fraction = 0.30;
+  /// Fixed staging cost per chunk moved from the queue into the PM ring
+  /// (queue pop + PM controller issue).
+  sim::SimTime persist_overhead = sim::Ns(0);
+};
+
+/// \brief Destage module configuration (paper §4.3).
+struct DestageConfig {
+  /// First LBA of the conventional-side destaging ring.
+  uint64_t ring_start_lba = 0;
+  /// Ring length in logical blocks ("much larger than the fast side").
+  uint64_t ring_lba_count = 2048;
+  /// Destage less than a full page if data has waited this long (the
+  /// "latency threshold" of §4.3); filler pads the page.
+  sim::SimTime latency_threshold = sim::Us(500);
+  /// Maximum concurrent destage programs (pipeline depth across dies).
+  uint32_t max_inflight = 32;
+};
+
+/// Device role in a replication group (§4.2).
+enum class Role : uint32_t {
+  kStandalone = 0,
+  kPrimary = 1,
+  kSecondary = 2,
+};
+
+/// Replication protocol the credit counter implements (§4.2).
+enum class ReplicationProtocol : uint32_t {
+  kEager = 0,  ///< credit = slowest secondary (log persisted everywhere)
+  kLazy = 1,   ///< credit = local counter (primary proceeds independently)
+  kChain = 2,  ///< credit = counter of the last secondary in the chain
+};
+
+/// \brief Transport module configuration (§4.2).
+struct TransportConfig {
+  /// How often a secondary forwards its credit counter to the primary.
+  /// Figure 13 sweeps 0.4–1.6 µs.
+  sim::SimTime update_period = sim::Ns(800);
+  ReplicationProtocol protocol = ReplicationProtocol::kEager;
+  /// A shadow counter lagging the local credit for longer than this while
+  /// traffic is outstanding raises the stalled bit in the status register.
+  sim::SimTime stall_timeout = sim::Ms(10);
+};
+
+/// \brief Power-loss protection model: supercapacitors hold the device up
+/// long enough to destage the fast side (§3.1 crash consistency).
+struct PowerConfig {
+  /// Pages the stored energy can destage after a sudden power cut. The
+  /// default comfortably covers the largest SRAM ring.
+  uint32_t supercap_page_budget = 64;
+};
+
+/// \brief Full Villars device configuration.
+struct VillarsConfig {
+  flash::Geometry geometry;
+  flash::Timing flash_timing;
+  flash::Reliability reliability;
+  ftl::FtlConfig ftl;
+  CmbConfig cmb;
+  DestageConfig destage;
+  TransportConfig transport;
+  PowerConfig power;
+  ftl::SchedulingPolicy scheduling = ftl::SchedulingPolicy::kNeutral;
+  uint64_t seed = 42;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_CONFIG_H_

@@ -1,0 +1,158 @@
+#include "core/destage_module.h"
+
+#include "common/logging.h"
+
+namespace xssd::core {
+
+DestageModule::DestageModule(sim::Simulator* sim, ftl::Ftl* ftl,
+                             CmbModule* cmb, const DestageConfig& config,
+                             uint32_t epoch)
+    : sim_(sim), ftl_(ftl), cmb_(cmb), config_(config), epoch_(epoch) {
+  XSSD_CHECK(config_.ring_lba_count > 0);
+  XSSD_CHECK(config_.ring_start_lba + config_.ring_lba_count <=
+             ftl_->lpn_count());
+}
+
+void DestageModule::OnCreditAdvance(uint64_t credit) {
+  if (credit > credit_seen_) {
+    if (credit_seen_ == destage_cursor_) {
+      // New data started pending; remember when, for the threshold timer.
+      oldest_pending_since_ = sim_->Now();
+    }
+    credit_seen_ = credit;
+  }
+  Pump();
+}
+
+void DestageModule::SetBarrier(uint64_t stream_offset) {
+  barrier_ = stream_offset;
+  Pump();
+}
+
+void DestageModule::Pump() {
+  if (frozen_) return;
+  while (inflight_ < config_.max_inflight) {
+    uint64_t limit = std::min(credit_seen_, barrier_);
+    uint64_t pending = limit > destage_cursor_ ? limit - destage_cursor_ : 0;
+    if (pending == 0) return;
+    if (pending >= Capacity()) {
+      EmitPage(Capacity());
+      continue;
+    }
+    // Not a full page: wait for the latency threshold before padding.
+    sim::SimTime age = sim_->Now() - oldest_pending_since_;
+    if (age >= config_.latency_threshold) {
+      EmitPage(static_cast<uint32_t>(pending));
+      continue;
+    }
+    ArmTimer();
+    return;
+  }
+}
+
+void DestageModule::ArmTimer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  sim::SimTime fire_at = oldest_pending_since_ + config_.latency_threshold;
+  sim::SimTime delay = fire_at > sim_->Now() ? fire_at - sim_->Now() : 0;
+  sim_->Schedule(delay, [this]() {
+    timer_armed_ = false;
+    Pump();
+  });
+}
+
+void DestageModule::EmitPage(uint32_t len) {
+  XSSD_CHECK(len > 0 && len <= Capacity());
+  DestagePageHeader header;
+  header.sequence = next_sequence_;
+  header.stream_offset = destage_cursor_;
+  header.data_len = len;
+  header.epoch = epoch_;
+
+  std::vector<uint8_t> data(len);
+  cmb_->CopyOut(destage_cursor_, data.data(), len);
+  // Reading the ring consumes backing-memory bandwidth too — the shared-
+  // DRAM contention the paper's DRAM-backed CMB exhibits under load.
+  cmb_->backing_port().Acquire(len);
+
+  std::vector<uint8_t> page =
+      BuildDestagePage(header, data.data(), len, ftl_->page_bytes());
+
+  uint64_t begin = destage_cursor_;
+  uint64_t end = destage_cursor_ + len;
+  uint64_t lba = config_.ring_start_lba +
+                 (next_sequence_ % config_.ring_lba_count);
+  ++next_sequence_;
+  destage_cursor_ = end;
+  if (destage_cursor_ < std::min(credit_seen_, barrier_)) {
+    // More is already pending behind this page.
+  } else {
+    oldest_pending_since_ = sim_->Now();
+  }
+  ++inflight_;
+
+  ftl_->WriteDirect(
+      ftl::IoClass::kDestage, lba, std::move(page),
+      [this, begin, end, len](Status status) {
+        --inflight_;
+        if (!status.ok()) {
+          // FTL already retried grown-bad blocks; anything surfacing here
+          // is fatal for the extent. Keep the counter honest: destaged_
+          // will simply never cross the hole.
+          XSSD_LOG(kError) << "destage write failed permanently: "
+                           << status.ToString();
+          Pump();
+          return;
+        }
+        ++stats_.pages_written;
+        stats_.stream_bytes += len;
+        if (len < Capacity()) {
+          ++stats_.partial_pages;
+          stats_.filler_bytes += Capacity() - len;
+        }
+        completed_.Insert(begin, end);
+        uint64_t new_destaged = completed_.ContiguousEnd(destaged_);
+        if (new_destaged != destaged_) {
+          destaged_ = new_destaged;
+          completed_.TrimBelow(destaged_);
+          cmb_->set_destaged_floor(destaged_);
+        }
+        Pump();
+      });
+}
+
+void DestageModule::DestageAllForPowerLoss(uint32_t page_budget,
+                                           std::function<void()> done) {
+  frozen_ = false;
+  // Temporarily lift the latency threshold and barrier: on power loss the
+  // device flushes everything persisted, immediately.
+  sim::SimTime saved_threshold = config_.latency_threshold;
+  config_.latency_threshold = 0;
+  uint64_t saved_barrier = barrier_;
+  barrier_ = ~0ull;
+
+  uint64_t pages_before = stats_.pages_written;
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, page_budget, pages_before, saved_threshold, saved_barrier,
+           done = std::move(done), poll]() mutable {
+    bool budget_left =
+        stats_.pages_written - pages_before + inflight_ < page_budget;
+    bool drained = destaged_ >= credit_seen_ && inflight_ == 0;
+    if (drained || !budget_left) {
+      if (!budget_left) {
+        XSSD_LOG(kWarning) << "supercap budget exhausted during power-loss "
+                              "destage";
+      }
+      config_.latency_threshold = saved_threshold;
+      barrier_ = saved_barrier;
+      frozen_ = true;  // device halts after the emergency destage
+      done();
+      return;
+    }
+    Pump();
+    sim_->Schedule(sim::Us(5), *poll);
+  };
+  (*poll)();
+}
+
+}  // namespace xssd::core

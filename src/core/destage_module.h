@@ -1,0 +1,110 @@
+#ifndef XSSD_CORE_DESTAGE_MODULE_H_
+#define XSSD_CORE_DESTAGE_MODULE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/cmb_module.h"
+#include "core/config.h"
+#include "core/page_format.h"
+#include "ftl/ftl.h"
+#include "sim/simulator.h"
+
+namespace xssd::core {
+
+/// Destage statistics.
+struct DestageStats {
+  uint64_t pages_written = 0;
+  uint64_t partial_pages = 0;     ///< pages cut short by latency threshold
+  uint64_t filler_bytes = 0;
+  uint64_t stream_bytes = 0;      ///< payload destaged
+};
+
+/// \brief The Destage module (paper §4.3): moves the PM ring's persisted
+/// prefix into a ring of logical blocks on the conventional side.
+///
+/// It monitors the credit counter, bundles ring-head data into flash pages
+/// (adding filler when the latency threshold forces a partial page), and
+/// writes them through the FTL with IoClass::kDestage so the channel
+/// scheduler can apply the opportunistic-destaging policies. Destaging is
+/// pipelined across dies but the destaged counter advances strictly in
+/// stream order.
+class DestageModule {
+ public:
+  DestageModule(sim::Simulator* sim, ftl::Ftl* ftl, CmbModule* cmb,
+                const DestageConfig& config, uint32_t epoch = 0);
+
+  DestageModule(const DestageModule&) = delete;
+  DestageModule& operator=(const DestageModule&) = delete;
+
+  /// Hooked to the CMB credit counter; wakes the destage loop.
+  void OnCreditAdvance(uint64_t credit);
+
+  /// Stream bytes destaged to the conventional side (in-order).
+  uint64_t destaged() const { return destaged_; }
+
+  /// Next destage-ring slot (sequence number; LBA = start + seq % count).
+  uint64_t next_sequence() const { return next_sequence_; }
+
+  uint64_t ring_start_lba() const { return config_.ring_start_lba; }
+  uint64_t ring_lba_count() const { return config_.ring_lba_count; }
+
+  /// Advanced-API barrier: stream offsets >= `stream_offset` are withheld
+  /// from destaging (active x_alloc areas). ~0 disables.
+  void SetBarrier(uint64_t stream_offset);
+  uint64_t barrier() const { return barrier_; }
+
+  /// Crash protocol step 2 (paper §4.1): destage everything persisted
+  /// (stopping at the credit, which by construction stops at the first
+  /// gap), bounded by the supercap energy budget in pages. `done` fires
+  /// when the ring is fully drained or the budget is exhausted.
+  void DestageAllForPowerLoss(uint32_t page_budget,
+                              std::function<void()> done);
+
+  /// Freeze/unfreeze (used during power-loss handling to stop the normal
+  /// background loop).
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+
+  const DestageStats& stats() const { return stats_; }
+
+ private:
+  /// Payload capacity of one destage page.
+  uint32_t Capacity() const {
+    return DestagePayloadCapacity(ftl_->page_bytes());
+  }
+
+  /// Destage eligible data: full pages immediately; partial pages once the
+  /// latency threshold expires.
+  void Pump();
+
+  /// Emit one page covering [destage_cursor_, destage_cursor_ + len).
+  void EmitPage(uint32_t len);
+
+  void ArmTimer();
+
+  sim::Simulator* sim_;
+  ftl::Ftl* ftl_;
+  CmbModule* cmb_;
+  DestageConfig config_;
+  uint32_t epoch_;
+
+  uint64_t credit_seen_ = 0;
+  uint64_t destaged_ = 0;        ///< contiguous, completion-ordered
+  uint64_t destage_cursor_ = 0;  ///< issued (may be ahead of destaged_)
+  uint64_t next_sequence_ = 0;
+  uint64_t barrier_ = ~0ull;
+  uint32_t inflight_ = 0;
+  bool timer_armed_ = false;
+  bool frozen_ = false;
+  sim::SimTime oldest_pending_since_ = 0;
+
+  // Completion reordering: pages finish out of order across dies; destaged_
+  // advances over the contiguous prefix of completed stream extents.
+  sim::IntervalSet completed_;
+
+  DestageStats stats_;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_DESTAGE_MODULE_H_

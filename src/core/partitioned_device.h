@@ -1,0 +1,126 @@
+#ifndef XSSD_CORE_PARTITIONED_DEVICE_H_
+#define XSSD_CORE_PARTITIONED_DEVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cmb_module.h"
+#include "core/config.h"
+#include "core/destage_module.h"
+#include "core/registers.h"
+#include "core/transport_module.h"
+#include "flash/array.h"
+#include "ftl/ftl.h"
+#include "nvme/controller.h"
+#include "pcie/fabric.h"
+
+namespace xssd::core {
+
+/// One tenant's slice of the fast side.
+struct PartitionConfig {
+  CmbConfig cmb;
+  DestageConfig destage;
+  TransportConfig transport;
+};
+
+/// \brief Multi-tenant X-SSD configuration (paper §7.2).
+struct PartitionedConfig {
+  flash::Geometry geometry;
+  flash::Timing flash_timing;
+  flash::Reliability reliability;
+  ftl::FtlConfig ftl;
+  std::vector<PartitionConfig> partitions;
+  ftl::SchedulingPolicy scheduling = ftl::SchedulingPolicy::kNeutral;
+  uint64_t seed = 42;
+};
+
+/// \brief An X-SSD whose CMB is segmented into independent regions — the
+/// SR-IOV-style virtualization sketched in the paper's §7.2, which also
+/// subsumes the per-writer-counter extension of §7.1 (one partition per
+/// pinned writer behaves exactly like one credit counter per core).
+///
+/// Each partition is a complete fast side: its own staging queue, PM ring,
+/// credit counter, destage ring (a disjoint LBA range on the shared
+/// conventional side), and its own replication configuration. The
+/// conventional side — flash array, FTL, NVMe controller — is shared, as a
+/// single physical function would be.
+///
+/// The CMB BAR lays partitions out back to back, each with the standard
+/// control page + ring window, so an unmodified host::XLogClient pointed
+/// at a partition's base address works as-is — tenants need no special
+/// client.
+class PartitionedVillars : public pcie::MmioDevice {
+ public:
+  PartitionedVillars(sim::Simulator* sim, pcie::PcieFabric* fabric,
+                     const PartitionedConfig& config, std::string name);
+  ~PartitionedVillars();
+
+  PartitionedVillars(const PartitionedVillars&) = delete;
+  PartitionedVillars& operator=(const PartitionedVillars&) = delete;
+
+  /// Map BAR0 (shared NVMe) and the partitioned CMB BAR.
+  Status Attach(uint64_t bar0_base, uint64_t cmb_base);
+
+  size_t partition_count() const { return partitions_.size(); }
+
+  /// Bus address of partition `index`'s control page (give this to an
+  /// XLogClient as its cmb_base).
+  uint64_t partition_base(size_t index) const {
+    return cmb_base_ + partition_offset_[index];
+  }
+  /// Whole-BAR size.
+  uint64_t cmb_bar_bytes() const { return bar_bytes_; }
+
+  // pcie::MmioDevice — dispatches into the owning partition.
+  void OnMmioWrite(uint64_t offset, const uint8_t* data, size_t len) override;
+  void OnMmioRead(uint64_t offset, uint8_t* out, size_t len) override;
+
+  CmbModule& cmb(size_t index) { return *partitions_[index]->cmb; }
+  DestageModule& destage(size_t index) {
+    return *partitions_[index]->destage;
+  }
+  TransportModule& transport(size_t index) {
+    return *partitions_[index]->transport;
+  }
+  ftl::Ftl& ftl() { return *ftl_; }
+  flash::Array& flash_array() { return *array_; }
+  nvme::Controller& controller() { return *controller_; }
+
+  uint64_t EffectiveCredit(size_t index) const {
+    return partitions_[index]->transport->EffectiveCredit(
+        partitions_[index]->cmb->local_credit());
+  }
+
+ private:
+  struct Partition {
+    PartitionConfig config;
+    uint64_t bar_offset;  // of the control page within the CMB BAR
+    std::unique_ptr<CmbModule> cmb;
+    std::unique_ptr<DestageModule> destage;
+    std::unique_ptr<TransportModule> transport;
+  };
+
+  /// Partition containing BAR offset `offset`, or nullptr.
+  Partition* Find(uint64_t offset);
+
+  void HandleVendorAdmin(const nvme::Command& cmd,
+                         std::function<void(nvme::Completion)> done);
+  uint64_t ReadRegister(const Partition& partition, uint64_t reg) const;
+
+  sim::Simulator* sim_;
+  pcie::PcieFabric* fabric_;
+  std::string name_;
+
+  std::unique_ptr<flash::Array> array_;
+  std::unique_ptr<ftl::Ftl> ftl_;
+  std::unique_ptr<nvme::Controller> controller_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<uint64_t> partition_offset_;
+  uint64_t bar_bytes_ = 0;
+  uint64_t cmb_base_ = 0;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_PARTITIONED_DEVICE_H_

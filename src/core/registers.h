@@ -1,0 +1,56 @@
+#ifndef XSSD_CORE_REGISTERS_H_
+#define XSSD_CORE_REGISTERS_H_
+
+#include <cstdint>
+
+namespace xssd::core {
+
+/// CMB BAR layout: a 4 KiB control page followed by the byte-addressable
+/// PM ring window. The control page is the "log control interface" of the
+/// paper (§4.1/§4.3): the credit counter, ring geometry, destage progress,
+/// transport status, and the shadow-counter mailboxes that secondaries
+/// write over NTB.
+inline constexpr uint64_t kCtrlPageBytes = 4096;
+inline constexpr uint64_t kRingWindowOffset = kCtrlPageBytes;
+
+// --- Control-page register offsets (all 8-byte) ---------------------------
+
+/// Protocol-visible credit counter: bytes persisted according to the active
+/// replication protocol (read-only; the x_fsync loop polls this).
+inline constexpr uint64_t kRegCredit = 0x00;
+/// Local persistence counter (bytes contiguous in the PM ring).
+inline constexpr uint64_t kRegLocalCredit = 0x08;
+/// Staging-queue size negotiated with the database.
+inline constexpr uint64_t kRegQueueBytes = 0x10;
+/// PM ring capacity.
+inline constexpr uint64_t kRegRingBytes = 0x18;
+/// Stream bytes destaged to the conventional side so far.
+inline constexpr uint64_t kRegDestaged = 0x20;
+/// Destaging-ring geometry on the conventional side.
+inline constexpr uint64_t kRegDestageStartLba = 0x28;
+inline constexpr uint64_t kRegDestageLbaCount = 0x30;
+/// Transport status word (see StatusBits below).
+inline constexpr uint64_t kRegTransportStatus = 0x38;
+/// Destage barrier for the advanced x_alloc API: stream offsets >= barrier
+/// are not destaged (write-only; ~0 disables).
+inline constexpr uint64_t kRegDestageBarrier = 0x40;
+/// Device epoch: bumped on every reboot so hosts can detect restarts.
+inline constexpr uint64_t kRegEpoch = 0x48;
+
+/// Shadow-counter mailboxes: secondary i writes its credit at
+/// kRegShadowBase + 8*i (via NTB).
+inline constexpr uint64_t kRegShadowBase = 0x80;
+inline constexpr uint32_t kMaxPeers = 8;
+
+/// Transport status word bit assignments.
+struct StatusBits {
+  static constexpr uint64_t kRoleMask = 0x3;            // Role enum
+  static constexpr uint64_t kPeerCountShift = 2;        // bits 2..5
+  static constexpr uint64_t kPeerCountMask = 0xF << 2;
+  static constexpr uint64_t kReplicationStalled = 1ull << 8;
+  static constexpr uint64_t kHalted = 1ull << 9;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_REGISTERS_H_

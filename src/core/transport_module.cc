@@ -1,0 +1,149 @@
+#include "core/transport_module.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "pcie/store_engine.h"
+
+namespace xssd::core {
+
+TransportModule::TransportModule(sim::Simulator* sim,
+                                 pcie::PcieFabric* fabric,
+                                 const TransportConfig& config)
+    : sim_(sim), fabric_(fabric), config_(config), protocol_(config.protocol) {}
+
+void TransportModule::SetRole(Role role) {
+  role_ = role;
+  ++timer_generation_;  // cancel any running secondary timer
+  if (role_ == Role::kSecondary) {
+    uint64_t generation = timer_generation_;
+    sim_->Schedule(config_.update_period, [this, generation]() {
+      if (generation != timer_generation_) return;
+      UpdateTick();
+    });
+  }
+}
+
+Status TransportModule::AddPeer(uint64_t peer_cmb_window) {
+  if (peers_.size() >= kMaxPeers) {
+    return Status::ResourceExhausted("peer table full");
+  }
+  shadows_[peers_.size()] = 0;
+  peers_.push_back(peer_cmb_window);
+  last_shadow_advance_ = sim_->Now();
+  return Status::OK();
+}
+
+void TransportModule::ClearPeers() {
+  peers_.clear();
+  std::fill(std::begin(shadows_), std::end(shadows_), 0);
+}
+
+void TransportModule::ConfigureSecondary(uint64_t primary_shadow_addr) {
+  primary_shadow_addr_ = primary_shadow_addr;
+}
+
+void TransportModule::OnCmbArrival(uint64_t stream_offset,
+                                   const uint8_t* data, size_t len) {
+  if (role_ != Role::kPrimary || peers_.empty()) return;
+  XSSD_CHECK(ring_bytes_ > 0);
+  // One mirror flow per secondary (no multicast — §4.2), each an
+  // independent posted-write stream into the peer's ring window at the
+  // same ring offset the local write used (rings are sized identically
+  // within a replication group).
+  uint64_t ring_offset = stream_offset % ring_bytes_;
+  size_t first = static_cast<size_t>(
+      std::min<uint64_t>(len, ring_bytes_ - ring_offset));
+  if (multicast_window_ != 0) {
+    // One flow; the NTB adapter fans out in hardware.
+    mirrored_bytes_ += len;
+    fabric_->PeerWrite(multicast_window_ + kRingWindowOffset + ring_offset,
+                       data, first, pcie::StoreEngine::kWcLineBytes);
+    if (first < len) {
+      fabric_->PeerWrite(multicast_window_ + kRingWindowOffset, data + first,
+                         len - first, pcie::StoreEngine::kWcLineBytes);
+    }
+    return;
+  }
+  for (uint64_t peer_base : peers_) {
+    mirrored_bytes_ += len;
+    fabric_->PeerWrite(peer_base + kRingWindowOffset + ring_offset, data,
+                       first, pcie::StoreEngine::kWcLineBytes);
+    if (first < len) {
+      fabric_->PeerWrite(peer_base + kRingWindowOffset, data + first,
+                         len - first, pcie::StoreEngine::kWcLineBytes);
+    }
+  }
+}
+
+void TransportModule::OnLocalCredit(uint64_t credit) {
+  local_credit_ = credit;
+}
+
+void TransportModule::UpdateTick() {
+  if (role_ != Role::kSecondary) return;
+  // The counter is forwarded on every cycle: the paper's bandwidth-vs-
+  // freshness tradeoff (Figure 13) assumes a fixed per-period cost.
+  if (primary_shadow_addr_ != 0) {
+    uint8_t payload[8];
+    uint64_t value = local_credit_;
+    std::memcpy(payload, &value, 8);
+    fabric_->PeerWrite(primary_shadow_addr_, payload, 8, 8);
+    last_sent_credit_ = local_credit_;
+    ++counter_updates_sent_;
+  }
+  uint64_t generation = timer_generation_;
+  sim_->Schedule(config_.update_period, [this, generation]() {
+    if (generation != timer_generation_) return;
+    UpdateTick();
+  });
+}
+
+void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
+  if (index >= kMaxPeers) return;
+  if (value > shadows_[index]) {
+    shadows_[index] = value;
+    last_shadow_advance_ = sim_->Now();
+    if (shadow_hook_) shadow_hook_(index, value);
+  }
+}
+
+uint64_t TransportModule::EffectiveCredit(uint64_t local_credit) const {
+  if (role_ != Role::kPrimary || peers_.empty()) return local_credit;
+  switch (protocol_) {
+    case ReplicationProtocol::kLazy:
+      // Lazy replication [58]: the primary proceeds independently.
+      return local_credit;
+    case ReplicationProtocol::kChain:
+      // Chain replication [72]: only the tail's counter matters.
+      return std::min(local_credit, shadows_[peers_.size() - 1]);
+    case ReplicationProtocol::kEager: {
+      // Eager: the counter with the most significant delay among the
+      // secondaries (paper §4.2) — an entry is persisted only if it is
+      // persisted everywhere.
+      uint64_t credit = local_credit;
+      for (size_t i = 0; i < peers_.size(); ++i) {
+        credit = std::min(credit, shadows_[i]);
+      }
+      return credit;
+    }
+  }
+  return local_credit;
+}
+
+uint64_t TransportModule::StatusWord(uint64_t local_credit) const {
+  uint64_t word = static_cast<uint64_t>(role_) & StatusBits::kRoleMask;
+  word |= (static_cast<uint64_t>(peers_.size()) << StatusBits::kPeerCountShift) &
+          StatusBits::kPeerCountMask;
+  if (role_ == Role::kPrimary && !peers_.empty()) {
+    uint64_t effective = EffectiveCredit(local_credit);
+    if (effective < local_credit &&
+        sim_->Now() - last_shadow_advance_ > config_.stall_timeout) {
+      word |= StatusBits::kReplicationStalled;
+    }
+  }
+  return word;
+}
+
+}  // namespace xssd::core

@@ -1,0 +1,133 @@
+#ifndef XSSD_CORE_TRANSPORT_MODULE_H_
+#define XSSD_CORE_TRANSPORT_MODULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/registers.h"
+#include "pcie/fabric.h"
+#include "sim/simulator.h"
+
+namespace xssd::core {
+
+/// \brief The Transport module (paper §4.2): replication of the fast-side
+/// write stream across Villars devices over NTB.
+///
+/// On a *primary*, the module taps the mirror of CMB arrivals and re-posts
+/// each chunk to every peer's CMB window (one independent flow per
+/// secondary — the paper deliberately forgoes NTB multicast). It also owns
+/// the shadow counters that secondaries update, and computes the
+/// protocol-visible credit from them.
+///
+/// On a *secondary*, the module periodically (every update_period) writes
+/// the local credit counter into the primary's shadow mailbox through the
+/// NTB window.
+///
+/// All cross-device traffic is plain posted writes issued on the local
+/// fabric (PeerWrite to the NTB adapter's window), exactly the TLP
+/// repackaging §2.3 describes.
+class TransportModule {
+ public:
+  TransportModule(sim::Simulator* sim, pcie::PcieFabric* fabric,
+                  const TransportConfig& config);
+
+  TransportModule(const TransportModule&) = delete;
+  TransportModule& operator=(const TransportModule&) = delete;
+
+  // -- Role management (driven by vendor-specific NVMe admin commands) -----
+
+  void SetRole(Role role);
+  Role role() const { return role_; }
+
+  void set_protocol(ReplicationProtocol protocol) { protocol_ = protocol; }
+  ReplicationProtocol protocol() const { return protocol_; }
+
+  void set_update_period(sim::SimTime period) {
+    config_.update_period = period;
+  }
+  sim::SimTime update_period() const { return config_.update_period; }
+
+  /// Ring size of the replication group (set by the owning device; used to
+  /// wrap mirrored stream offsets into peer ring windows).
+  void set_ring_bytes(uint64_t ring_bytes) { ring_bytes_ = ring_bytes; }
+
+  /// Primary: register a peer whose CMB BAR is reachable at
+  /// `peer_cmb_window` on the local fabric (an NTB window address).
+  Status AddPeer(uint64_t peer_cmb_window);
+  void ClearPeers();
+  uint32_t peer_count() const {
+    return static_cast<uint32_t>(peers_.size());
+  }
+
+  /// Primary: mirror through a single NTB *multicast* window instead of
+  /// one flow per peer — the hardware fan-out §4.2 mentions. Shadow
+  /// counters still flow back per secondary. Pass 0 to disable.
+  void EnableMulticast(uint64_t multicast_window_addr) {
+    multicast_window_ = multicast_window_addr;
+  }
+  bool multicast_enabled() const { return multicast_window_ != 0; }
+
+  /// Secondary: where (on the local fabric, through NTB) this device's
+  /// shadow mailbox on the primary lives.
+  void ConfigureSecondary(uint64_t primary_shadow_addr);
+
+  // -- Data-path hooks ------------------------------------------------------
+
+  /// Primary tap: a chunk arrived on the local CMB (Figure 6 step 1-2).
+  void OnCmbArrival(uint64_t stream_offset, const uint8_t* data, size_t len);
+
+  /// Secondary tap: local credit advanced (reported on the next cycle).
+  void OnLocalCredit(uint64_t credit);
+
+  /// A secondary wrote shadow mailbox `index` (landed on the control page).
+  void OnShadowWrite(uint32_t index, uint64_t value);
+
+  /// Observer invoked on every shadow-counter advance (instrumentation for
+  /// replication-delay measurements; not part of the device protocol).
+  using ShadowHook = std::function<void(uint32_t index, uint64_t value)>;
+  void SetShadowHook(ShadowHook hook) { shadow_hook_ = std::move(hook); }
+
+  /// Protocol-visible credit (what the kRegCredit register returns).
+  uint64_t EffectiveCredit(uint64_t local_credit) const;
+
+  uint64_t shadow_counter(uint32_t index) const { return shadows_[index]; }
+
+  /// Status word for kRegTransportStatus.
+  uint64_t StatusWord(uint64_t local_credit) const;
+
+  /// Wire bytes sent for mirror traffic / counter updates (diagnostics).
+  uint64_t mirrored_bytes() const { return mirrored_bytes_; }
+  uint64_t counter_updates_sent() const { return counter_updates_sent_; }
+
+ private:
+  void UpdateTick();
+
+  sim::Simulator* sim_;
+  pcie::PcieFabric* fabric_;
+  TransportConfig config_;
+
+  Role role_ = Role::kStandalone;
+  ReplicationProtocol protocol_;
+
+  uint64_t ring_bytes_ = 0;
+  uint64_t multicast_window_ = 0;  ///< 0 = per-peer unicast flows
+  std::vector<uint64_t> peers_;  ///< local-fabric window of each peer's CMB
+  uint64_t shadows_[kMaxPeers] = {0};
+  sim::SimTime last_shadow_advance_ = 0;
+
+  // Secondary state.
+  uint64_t primary_shadow_addr_ = 0;
+  uint64_t local_credit_ = 0;
+  uint64_t last_sent_credit_ = 0;
+  uint64_t timer_generation_ = 0;  ///< cancels stale periodic timers
+
+  uint64_t mirrored_bytes_ = 0;
+  uint64_t counter_updates_sent_ = 0;
+  ShadowHook shadow_hook_;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_TRANSPORT_MODULE_H_

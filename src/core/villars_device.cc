@@ -1,0 +1,221 @@
+#include "core/villars_device.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace xssd::core {
+
+VillarsDevice::VillarsDevice(sim::Simulator* sim, pcie::PcieFabric* fabric,
+                             const VillarsConfig& config, std::string name)
+    : sim_(sim), fabric_(fabric), config_(config), name_(std::move(name)) {
+  array_ = std::make_unique<flash::Array>(sim_, config_.geometry,
+                                          config_.flash_timing,
+                                          config_.reliability, config_.seed);
+  ftl_ = std::make_unique<ftl::Ftl>(sim_, array_.get(), config_.ftl);
+  ftl_->scheduler().set_policy(config_.scheduling);
+  controller_ = std::make_unique<nvme::Controller>(sim_, fabric_, ftl_.get(),
+                                                   name_ + "/nvme");
+  cmb_ = std::make_unique<CmbModule>(sim_, config_.cmb);
+  destage_ = std::make_unique<DestageModule>(sim_, ftl_.get(), cmb_.get(),
+                                             config_.destage, epoch_);
+  transport_ =
+      std::make_unique<TransportModule>(sim_, fabric_, config_.transport);
+  transport_->set_ring_bytes(config_.cmb.ring_bytes);
+  WireHooks();
+}
+
+VillarsDevice::~VillarsDevice() = default;
+
+void VillarsDevice::WireHooks() {
+  cmb_->SetCreditHook([this](uint64_t credit) {
+    destage_->OnCreditAdvance(credit);
+    transport_->OnLocalCredit(credit);
+  });
+  cmb_->SetArrivalHook(
+      [this](uint64_t stream_offset, const uint8_t* data, size_t len) {
+        transport_->OnCmbArrival(stream_offset, data, len);
+      });
+  controller_->SetVendorHandler(
+      [this](const nvme::Command& cmd,
+             std::function<void(nvme::Completion)> done) {
+        HandleVendorAdmin(cmd, std::move(done));
+      });
+}
+
+Status VillarsDevice::Attach(uint64_t bar0_base, uint64_t cmb_base) {
+  XSSD_RETURN_IF_ERROR(fabric_->AddMmioRegion(
+      bar0_base, nvme::kBar0Bytes, controller_.get(), name_ + "/bar0"));
+  XSSD_RETURN_IF_ERROR(fabric_->AddMmioRegion(cmb_base, cmb_bar_bytes(), this,
+                                              name_ + "/cmb"));
+  bar0_base_ = bar0_base;
+  cmb_base_ = cmb_base;
+  return Status::OK();
+}
+
+void VillarsDevice::OnMmioWrite(uint64_t offset, const uint8_t* data,
+                                size_t len) {
+  if (halted_) return;
+  if (offset >= kRingWindowOffset) {
+    cmb_->OnRingWrite(offset - kRingWindowOffset, data, len);
+    return;
+  }
+  // Control-page writes.
+  if (offset >= kRegShadowBase &&
+      offset + len <= kRegShadowBase + 8 * kMaxPeers && len == 8) {
+    uint64_t value = 0;
+    std::memcpy(&value, data, 8);
+    uint32_t index = static_cast<uint32_t>((offset - kRegShadowBase) / 8);
+    transport_->OnShadowWrite(index, value);
+    return;
+  }
+  if (offset == kRegDestageBarrier && len == 8) {
+    uint64_t value = 0;
+    std::memcpy(&value, data, 8);
+    destage_->SetBarrier(value);
+    return;
+  }
+  XSSD_LOG(kDebug) << name_ << ": ignored control write at offset "
+                   << offset;
+}
+
+uint64_t VillarsDevice::ReadRegister(uint64_t offset) const {
+  switch (offset) {
+    case kRegCredit:
+      return transport_->EffectiveCredit(cmb_->local_credit());
+    case kRegLocalCredit:
+      return cmb_->local_credit();
+    case kRegQueueBytes:
+      return cmb_->queue_bytes();
+    case kRegRingBytes:
+      return cmb_->ring_bytes();
+    case kRegDestaged:
+      return destage_->destaged();
+    case kRegDestageStartLba:
+      return destage_->ring_start_lba();
+    case kRegDestageLbaCount:
+      return destage_->ring_lba_count();
+    case kRegTransportStatus: {
+      uint64_t word = transport_->StatusWord(cmb_->local_credit());
+      if (halted_) word |= StatusBits::kHalted;
+      return word;
+    }
+    case kRegDestageBarrier:
+      return destage_->barrier();
+    case kRegEpoch:
+      return epoch_;
+    default:
+      if (offset >= kRegShadowBase && offset < kRegShadowBase + 8 * kMaxPeers) {
+        return transport_->shadow_counter(
+            static_cast<uint32_t>((offset - kRegShadowBase) / 8));
+      }
+      return 0;
+  }
+}
+
+void VillarsDevice::OnMmioRead(uint64_t offset, uint8_t* out, size_t len) {
+  if (offset >= kRingWindowOffset) {
+    if (halted_) {
+      std::memset(out, 0, len);
+      return;
+    }
+    cmb_->ReadRing(offset - kRingWindowOffset, out, len);
+    return;
+  }
+  // Control registers are 8-byte aligned; serve any aligned span.
+  std::memset(out, 0, len);
+  uint64_t reg = offset & ~7ull;
+  uint64_t value = ReadRegister(reg);
+  size_t shift = offset - reg;
+  for (size_t i = 0; i < len && shift + i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(value >> (8 * (shift + i)));
+  }
+}
+
+void VillarsDevice::HandleVendorAdmin(
+    const nvme::Command& cmd, std::function<void(nvme::Completion)> done) {
+  nvme::Completion cpl;
+  cpl.cid = cmd.cid;
+  cpl.status = nvme::CmdStatus::kSuccess;
+  switch (static_cast<nvme::AdminOpcode>(cmd.opcode)) {
+    case nvme::AdminOpcode::kXssdSetRole: {
+      if (cmd.cdw10 > static_cast<uint32_t>(Role::kSecondary)) {
+        cpl.status = nvme::CmdStatus::kInvalidField;
+        break;
+      }
+      transport_->SetRole(static_cast<Role>(cmd.cdw10));
+      // cdw11/cdw12: secondary's shadow mailbox address through NTB
+      // (64-bit split across the dwords).
+      if (static_cast<Role>(cmd.cdw10) == Role::kSecondary) {
+        uint64_t addr =
+            (static_cast<uint64_t>(cmd.cdw12) << 32) | cmd.cdw11;
+        transport_->ConfigureSecondary(addr);
+      }
+      break;
+    }
+    case nvme::AdminOpcode::kXssdAddPeer: {
+      uint64_t addr = (static_cast<uint64_t>(cmd.cdw12) << 32) | cmd.cdw11;
+      Status status = transport_->AddPeer(addr);
+      if (!status.ok()) cpl.status = nvme::CmdStatus::kInvalidField;
+      break;
+    }
+    case nvme::AdminOpcode::kXssdClearPeers:
+      transport_->ClearPeers();
+      break;
+    case nvme::AdminOpcode::kXssdSetUpdatePeriod:
+      transport_->set_update_period(sim::Ns(cmd.cdw10));
+      break;
+    case nvme::AdminOpcode::kXssdSetDestagePolicy: {
+      if (cmd.cdw10 >
+          static_cast<uint32_t>(ftl::SchedulingPolicy::kConventionalPriority)) {
+        cpl.status = nvme::CmdStatus::kInvalidField;
+        break;
+      }
+      ftl_->scheduler().set_policy(
+          static_cast<ftl::SchedulingPolicy>(cmd.cdw10));
+      break;
+    }
+    case nvme::AdminOpcode::kXssdSetReplication: {
+      if (cmd.cdw10 > static_cast<uint32_t>(ReplicationProtocol::kChain)) {
+        cpl.status = nvme::CmdStatus::kInvalidField;
+        break;
+      }
+      transport_->set_protocol(static_cast<ReplicationProtocol>(cmd.cdw10));
+      break;
+    }
+    case nvme::AdminOpcode::kXssdGetLogRing:
+      cpl.result = static_cast<uint32_t>(destage_->next_sequence());
+      break;
+    default:
+      cpl.status = nvme::CmdStatus::kInvalidOpcode;
+      break;
+  }
+  done(cpl);
+}
+
+void VillarsDevice::PowerFail(std::function<void()> done) {
+  XSSD_LOG(kInfo) << name_ << ": POWER FAIL — emergency destage";
+  halted_ = true;  // reject further host traffic immediately
+  // Freeze the background pump first so the emergency destage (below)
+  // accounts every page against the supercap energy budget.
+  destage_->set_frozen(true);
+  cmb_->DrainStagingForPowerLoss();
+  destage_->DestageAllForPowerLoss(config_.power.supercap_page_budget,
+                                   std::move(done));
+}
+
+void VillarsDevice::Reboot() {
+  ++epoch_;
+  halted_ = false;
+  cmb_->ResetForReboot();
+  // The destage module restarts with a fresh cursor in the new epoch; the
+  // conventional side keeps all destaged pages (recovery reads them).
+  destage_ = std::make_unique<DestageModule>(sim_, ftl_.get(), cmb_.get(),
+                                             config_.destage, epoch_);
+  // Advance the destage ring cursor past the previous epoch's pages so new
+  // destages do not immediately overwrite recovery data. Recovery tooling
+  // reads the ring before writing resumes.
+  WireHooks();
+}
+
+}  // namespace xssd::core

@@ -1,0 +1,116 @@
+#ifndef XSSD_CORE_VILLARS_DEVICE_H_
+#define XSSD_CORE_VILLARS_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/cmb_module.h"
+#include "core/config.h"
+#include "core/destage_module.h"
+#include "core/registers.h"
+#include "core/transport_module.h"
+#include "flash/array.h"
+#include "ftl/ftl.h"
+#include "nvme/controller.h"
+#include "pcie/fabric.h"
+
+namespace xssd::core {
+
+/// \brief The Villars device: the reference X-SSD design (paper §4).
+///
+/// One object assembles the whole of Figure 4:
+///  - the *conventional side*: flash array + FTL + NVMe controller (BAR0);
+///  - the *fast side*: CMB module (PM ring behind a byte-addressable BAR),
+///    Destage module, and optional Transport module.
+///
+/// The device registers two MMIO regions on its host's PCIe fabric: BAR0
+/// (NVMe registers/doorbells) and the CMB BAR (control page + ring window).
+/// Vendor-specific NVMe admin commands switch roles, add peers, and tune
+/// destage/replication policy — "changing the networking mode ... is done
+/// via software" (§4.2).
+class VillarsDevice : public pcie::MmioDevice {
+ public:
+  VillarsDevice(sim::Simulator* sim, pcie::PcieFabric* fabric,
+                const VillarsConfig& config, std::string name);
+  ~VillarsDevice();
+
+  VillarsDevice(const VillarsDevice&) = delete;
+  VillarsDevice& operator=(const VillarsDevice&) = delete;
+
+  /// Map BAR0 and the CMB BAR onto the fabric.
+  Status Attach(uint64_t bar0_base, uint64_t cmb_base);
+
+  uint64_t bar0_base() const { return bar0_base_; }
+  uint64_t cmb_base() const { return cmb_base_; }
+  /// Bus address of the ring window (cmb_base + control page).
+  uint64_t ring_window_base() const { return cmb_base_ + kRingWindowOffset; }
+  uint64_t cmb_bar_bytes() const {
+    return kCtrlPageBytes + config_.cmb.ring_bytes;
+  }
+
+  // pcie::MmioDevice — the CMB BAR (control page + ring window).
+  void OnMmioWrite(uint64_t offset, const uint8_t* data, size_t len) override;
+  void OnMmioRead(uint64_t offset, uint8_t* out, size_t len) override;
+
+  // -- Power events ---------------------------------------------------------
+
+  /// Sudden power interruption: drain the staging queue, destage the PM
+  /// ring (bounded by the supercap budget), then halt. `done` fires when
+  /// the emergency destage finishes.
+  void PowerFail(std::function<void()> done);
+
+  /// Bring the device back: fast side restarts empty in a new epoch; the
+  /// conventional side (flash) retains everything destaged.
+  void Reboot();
+
+  bool halted() const { return halted_; }
+  uint32_t epoch() const { return epoch_; }
+
+  // -- Component access -----------------------------------------------------
+
+  CmbModule& cmb() { return *cmb_; }
+  DestageModule& destage() { return *destage_; }
+  TransportModule& transport() { return *transport_; }
+  ftl::Ftl& ftl() { return *ftl_; }
+  flash::Array& flash_array() { return *array_; }
+  nvme::Controller& controller() { return *controller_; }
+  const VillarsConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+
+  /// Credit the host sees (protocol-dependent on a primary).
+  uint64_t EffectiveCredit() const {
+    return transport_->EffectiveCredit(cmb_->local_credit());
+  }
+
+ private:
+  /// Vendor-specific admin command dispatch.
+  void HandleVendorAdmin(const nvme::Command& cmd,
+                         std::function<void(nvme::Completion)> done);
+
+  /// Read a control-page register.
+  uint64_t ReadRegister(uint64_t offset) const;
+
+  void WireHooks();
+
+  sim::Simulator* sim_;
+  pcie::PcieFabric* fabric_;
+  VillarsConfig config_;
+  std::string name_;
+
+  std::unique_ptr<flash::Array> array_;
+  std::unique_ptr<ftl::Ftl> ftl_;
+  std::unique_ptr<nvme::Controller> controller_;
+  std::unique_ptr<CmbModule> cmb_;
+  std::unique_ptr<DestageModule> destage_;
+  std::unique_ptr<TransportModule> transport_;
+
+  uint64_t bar0_base_ = 0;
+  uint64_t cmb_base_ = 0;
+  bool halted_ = false;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace xssd::core
+
+#endif  // XSSD_CORE_VILLARS_DEVICE_H_

@@ -1,0 +1,122 @@
+#include "db/database.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace xssd::db {
+
+Status Table::ApplyDelta(uint64_t key, size_t offset,
+                         const std::vector<uint8_t>& delta) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return Status::NotFound("no row for delta");
+  if (offset + delta.size() > it->second.size()) {
+    return Status::OutOfRange("delta past end of row");
+  }
+  std::memcpy(it->second.data() + offset, delta.data(), delta.size());
+  return Status::OK();
+}
+
+Table* Database::CreateTable(const std::string& name) {
+  uint32_t id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name));
+  return tables_.back().get();
+}
+
+Table* Database::GetTable(uint32_t id) {
+  return id < tables_.size() ? tables_[id].get() : nullptr;
+}
+
+Table* Database::GetTableByName(const std::string& name) {
+  for (auto& table : tables_) {
+    if (table->name() == name) return table.get();
+  }
+  return nullptr;
+}
+
+void Transaction::Insert(Table* table, uint64_t key,
+                         std::vector<uint8_t> row) {
+  LogRecord record;
+  record.txn_id = txn_id_;
+  record.table_id = table->id();
+  record.op = LogOp::kInsert;
+  record.key = key;
+  record.payload = std::move(row);
+  writes_.push_back(PendingWrite{table, std::move(record), 0});
+}
+
+void Transaction::UpdateDelta(Table* table, uint64_t key, size_t offset,
+                              std::vector<uint8_t> delta) {
+  LogRecord record;
+  record.txn_id = txn_id_;
+  record.table_id = table->id();
+  record.op = LogOp::kUpdate;
+  record.key = key;
+  // Delta payload: 4-byte offset prefix + changed bytes, so the record is
+  // self-describing for replay.
+  record.payload.resize(4 + delta.size());
+  uint32_t off32 = static_cast<uint32_t>(offset);
+  std::memcpy(record.payload.data(), &off32, 4);
+  std::memcpy(record.payload.data() + 4, delta.data(), delta.size());
+  writes_.push_back(PendingWrite{table, std::move(record), offset});
+}
+
+void Transaction::Erase(Table* table, uint64_t key) {
+  LogRecord record;
+  record.txn_id = txn_id_;
+  record.table_id = table->id();
+  record.op = LogOp::kDelete;
+  record.key = key;
+  writes_.push_back(PendingWrite{table, std::move(record), 0});
+}
+
+size_t Transaction::LogBytes() const {
+  size_t bytes = LogRecord::kHeaderBytes;  // commit marker
+  for (const PendingWrite& write : writes_) {
+    bytes += write.record.SerializedSize();
+  }
+  return bytes;
+}
+
+uint64_t Transaction::Commit(std::function<void(Status)> on_durable) {
+  // Apply to the in-memory tables.
+  for (PendingWrite& write : writes_) {
+    switch (write.record.op) {
+      case LogOp::kInsert:
+        write.table->Put(write.record.key, write.record.payload);
+        break;
+      case LogOp::kUpdate: {
+        std::vector<uint8_t> delta(write.record.payload.begin() + 4,
+                                   write.record.payload.end());
+        Status status = write.table->ApplyDelta(write.record.key,
+                                                write.delta_offset, delta);
+        if (!status.ok()) {
+          XSSD_LOG(kWarning) << "delta apply failed: " << status.ToString();
+        }
+        break;
+      }
+      case LogOp::kDelete:
+        write.table->Erase(write.record.key);
+        break;
+      case LogOp::kCommit:
+        break;
+    }
+  }
+
+  // Serialize redo records + commit marker into the WAL.
+  std::vector<uint8_t> wal;
+  wal.reserve(LogBytes());
+  for (const PendingWrite& write : writes_) {
+    SerializeLogRecord(write.record, &wal);
+  }
+  LogRecord commit_marker;
+  commit_marker.txn_id = txn_id_;
+  commit_marker.op = LogOp::kCommit;
+  SerializeLogRecord(commit_marker, &wal);
+
+  uint64_t lsn = db_->log()->Append(wal.data(), wal.size());
+  db_->log()->WaitDurable(lsn, std::move(on_durable));
+  return lsn;
+}
+
+}  // namespace xssd::db

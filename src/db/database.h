@@ -1,0 +1,120 @@
+#ifndef XSSD_DB_DATABASE_H_
+#define XSSD_DB_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/log_manager.h"
+#include "db/log_record.h"
+
+namespace xssd::db {
+
+/// \brief One main-memory table: key → row bytes, with simple statistics.
+class Table {
+ public:
+  Table(uint32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  size_t row_count() const { return rows_.size(); }
+
+  const std::vector<uint8_t>* Get(uint64_t key) const {
+    auto it = rows_.find(key);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  void Put(uint64_t key, std::vector<uint8_t> row) {
+    rows_[key] = std::move(row);
+  }
+
+  /// Apply a delta at `offset` within the row (update logging unit).
+  Status ApplyDelta(uint64_t key, size_t offset,
+                    const std::vector<uint8_t>& delta);
+
+  bool Erase(uint64_t key) { return rows_.erase(key) > 0; }
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> rows_;
+};
+
+/// \brief The in-memory database: a set of tables plus the WAL.
+///
+/// This is the substrate playing ERMIA's part: all data lives in (host)
+/// memory; only the transaction log needs persistence, which is why the
+/// log path *is* the bottleneck the paper attacks.
+class Database {
+ public:
+  explicit Database(LogManager* log) : log_(log) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Table* CreateTable(const std::string& name);
+  Table* GetTable(uint32_t id);
+  Table* GetTableByName(const std::string& name);
+
+  LogManager* log() { return log_; }
+
+  uint64_t NextTxnId() { return next_txn_id_++; }
+
+ private:
+  LogManager* log_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  uint64_t next_txn_id_ = 1;
+};
+
+/// \brief A transaction: buffered writes + redo records, applied and
+/// logged at commit.
+///
+/// Commit is pipelined (ERMIA-style group commit): Commit() applies the
+/// writes, appends the redo records to the WAL, and returns immediately;
+/// `on_durable` fires when the commit LSN is durable per the backend. The
+/// worker is free to start its next transaction in between.
+class Transaction {
+ public:
+  explicit Transaction(Database* db)
+      : db_(db), txn_id_(db->NextTxnId()) {}
+
+  uint64_t id() const { return txn_id_; }
+
+  /// Read a row (no read logging; snapshot semantics are out of scope).
+  const std::vector<uint8_t>* Get(Table* table, uint64_t key) {
+    return table->Get(key);
+  }
+
+  void Insert(Table* table, uint64_t key, std::vector<uint8_t> row);
+  void UpdateDelta(Table* table, uint64_t key, size_t offset,
+                   std::vector<uint8_t> delta);
+  void Erase(Table* table, uint64_t key);
+
+  /// Serialized WAL footprint of the buffered writes (+ commit marker).
+  size_t LogBytes() const;
+
+  /// Apply writes, append redo records, register the durability waiter.
+  /// Returns the commit LSN.
+  uint64_t Commit(std::function<void(Status)> on_durable);
+
+  size_t write_count() const { return writes_.size(); }
+
+ private:
+  struct PendingWrite {
+    Table* table;
+    LogRecord record;
+    size_t delta_offset;  // for kUpdate
+  };
+
+  Database* db_;
+  uint64_t txn_id_;
+  std::vector<PendingWrite> writes_;
+};
+
+}  // namespace xssd::db
+
+#endif  // XSSD_DB_DATABASE_H_

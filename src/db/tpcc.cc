@@ -1,0 +1,195 @@
+#include "db/tpcc.h"
+
+#include <cstring>
+#include "common/logging.h"
+
+namespace xssd::db {
+
+const char* TpccTxnName(TpccTxnType type) {
+  switch (type) {
+    case TpccTxnType::kNewOrder:
+      return "new-order";
+    case TpccTxnType::kPayment:
+      return "payment";
+    case TpccTxnType::kOrderStatus:
+      return "order-status";
+    case TpccTxnType::kDelivery:
+      return "delivery";
+    case TpccTxnType::kStockLevel:
+      return "stock-level";
+  }
+  return "?";
+}
+
+TpccWorkload::TpccWorkload(Database* db, TpccConfig config, uint64_t seed)
+    : db_(db), config_(config), rng_(seed) {}
+
+std::vector<uint8_t> TpccWorkload::MakeRow(size_t len) {
+  std::vector<uint8_t> row(len);
+  for (auto& b : row) b = static_cast<uint8_t>(rng_.Next());
+  return row;
+}
+
+void TpccWorkload::Populate() {
+  warehouse_ = db_->CreateTable("warehouse");
+  district_ = db_->CreateTable("district");
+  customer_ = db_->CreateTable("customer");
+  item_ = db_->CreateTable("item");
+  stock_ = db_->CreateTable("stock");
+  orders_ = db_->CreateTable("orders");
+  order_line_ = db_->CreateTable("order_line");
+  new_order_ = db_->CreateTable("new_order");
+  history_ = db_->CreateTable("history");
+
+  for (uint32_t w = 0; w < config_.warehouses; ++w) {
+    warehouse_->Put(WarehouseKey(w), MakeRow(kWarehouseRow));
+    for (uint32_t d = 0; d < config_.districts_per_warehouse; ++d) {
+      district_->Put(DistrictKey(w, d), MakeRow(kDistrictRow));
+      for (uint32_t c = 0; c < config_.populated_customers_per_district;
+           ++c) {
+        customer_->Put(CustomerKey(w, d, c), MakeRow(kCustomerRow));
+      }
+    }
+    for (uint32_t i = 0; i < config_.populated_items; ++i) {
+      stock_->Put(StockKey(w, i), MakeRow(kStockRow));
+    }
+  }
+  for (uint32_t i = 0; i < config_.populated_items; ++i) {
+    item_->Put(i, MakeRow(kItemRow));
+  }
+}
+
+TpccTxnType TpccWorkload::NextType() {
+  uint32_t roll = static_cast<uint32_t>(rng_.Uniform(100));
+  if (roll < config_.new_order_pct) return TpccTxnType::kNewOrder;
+  roll -= config_.new_order_pct;
+  if (roll < config_.payment_pct) return TpccTxnType::kPayment;
+  roll -= config_.payment_pct;
+  if (roll < config_.order_status_pct) return TpccTxnType::kOrderStatus;
+  roll -= config_.order_status_pct;
+  if (roll < config_.delivery_pct) return TpccTxnType::kDelivery;
+  return TpccTxnType::kStockLevel;
+}
+
+sim::SimTime TpccWorkload::Prepare(TpccTxnType type, Transaction* txn) {
+  switch (type) {
+    case TpccTxnType::kNewOrder:
+      DoNewOrder(txn);
+      return config_.new_order_cpu;
+    case TpccTxnType::kPayment:
+      DoPayment(txn);
+      return config_.payment_cpu;
+    case TpccTxnType::kOrderStatus:
+      DoOrderStatus(txn);
+      return config_.order_status_cpu;
+    case TpccTxnType::kDelivery:
+      DoDelivery(txn);
+      return config_.delivery_cpu;
+    case TpccTxnType::kStockLevel:
+      DoStockLevel(txn);
+      return config_.stock_level_cpu;
+  }
+  return 0;
+}
+
+void TpccWorkload::DoNewOrder(Transaction* txn) {
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(config_.warehouses));
+  uint32_t d =
+      static_cast<uint32_t>(rng_.Uniform(config_.districts_per_warehouse));
+  uint32_t c = static_cast<uint32_t>(
+      rng_.Uniform(config_.populated_customers_per_district));
+
+  // Reads: warehouse tax, district (also RMW of next_o_id), customer.
+  txn->Get(warehouse_, WarehouseKey(w));
+  txn->Get(district_, DistrictKey(w, d));
+  txn->Get(customer_, CustomerKey(w, d, c));
+
+  // District next_o_id increment: 8-byte delta at offset 0.
+  uint64_t order_id = next_order_id_++;
+  std::vector<uint8_t> d_delta(8);
+  std::memcpy(d_delta.data(), &order_id, 8);
+  txn->UpdateDelta(district_, DistrictKey(w, d), 0, d_delta);
+
+  // Insert ORDER and NEW-ORDER rows.
+  txn->Insert(orders_, order_id, MakeRow(kOrderRow));
+  txn->Insert(new_order_, order_id, MakeRow(kNewOrderRow));
+
+  // 5..15 order lines, each: read item, stock quantity delta, insert line.
+  uint32_t lines = static_cast<uint32_t>(rng_.UniformRange(5, 15));
+  for (uint32_t l = 0; l < lines; ++l) {
+    uint32_t i = static_cast<uint32_t>(rng_.Uniform(config_.populated_items));
+    txn->Get(item_, i);
+    // Stock: quantity (2B) + ytd (4B) + order/remote counts (4B) ≈ 10B,
+    // plus the spec's s_dist_xx copy in the order line, not in stock.
+    std::vector<uint8_t> s_delta = MakeRow(10);
+    txn->UpdateDelta(stock_, StockKey(w, i), 16, s_delta);
+    txn->Insert(order_line_, order_id * 16 + l, MakeRow(kOrderLineRow));
+  }
+}
+
+void TpccWorkload::DoPayment(Transaction* txn) {
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(config_.warehouses));
+  uint32_t d =
+      static_cast<uint32_t>(rng_.Uniform(config_.districts_per_warehouse));
+  uint32_t c = static_cast<uint32_t>(
+      rng_.Uniform(config_.populated_customers_per_district));
+
+  // Warehouse + district YTD deltas (8B each), customer balance delta
+  // (~24B: balance, ytd_payment, payment_cnt, data timestamp), history
+  // insert.
+  txn->UpdateDelta(warehouse_, WarehouseKey(w), 8, MakeRow(8));
+  txn->UpdateDelta(district_, DistrictKey(w, d), 8, MakeRow(8));
+  txn->UpdateDelta(customer_, CustomerKey(w, d, c), 32, MakeRow(24));
+  txn->Insert(history_, next_history_id_++, MakeRow(kHistoryRow));
+}
+
+void TpccWorkload::DoOrderStatus(Transaction* txn) {
+  // Read-only: customer + last order + its lines.
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(config_.warehouses));
+  uint32_t d =
+      static_cast<uint32_t>(rng_.Uniform(config_.districts_per_warehouse));
+  uint32_t c = static_cast<uint32_t>(
+      rng_.Uniform(config_.populated_customers_per_district));
+  txn->Get(customer_, CustomerKey(w, d, c));
+  if (next_order_id_ > 1) {
+    uint64_t o = 1 + rng_.Uniform(next_order_id_ - 1);
+    txn->Get(orders_, o);
+    for (uint32_t l = 0; l < 5; ++l) txn->Get(order_line_, o * 16 + l);
+  }
+}
+
+void TpccWorkload::DoDelivery(Transaction* txn) {
+  // Deliver up to 10 pending orders: order carrier delta + customer
+  // balance delta per order; delete the NEW-ORDER row.
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(config_.warehouses));
+  uint32_t d =
+      static_cast<uint32_t>(rng_.Uniform(config_.districts_per_warehouse));
+  uint32_t c = static_cast<uint32_t>(
+      rng_.Uniform(config_.populated_customers_per_district));
+  uint32_t delivered = 0;
+  for (uint32_t attempt = 0; attempt < 10 && next_order_id_ > 1; ++attempt) {
+    uint64_t o = 1 + rng_.Uniform(next_order_id_ - 1);
+    if (new_order_->Get(o) == nullptr) continue;
+    txn->Erase(new_order_, o);
+    if (orders_->Get(o) != nullptr) {
+      txn->UpdateDelta(orders_, o, 0, MakeRow(8));  // carrier id + ts
+    }
+    txn->UpdateDelta(customer_, CustomerKey(w, d, c), 32, MakeRow(16));
+    ++delivered;
+  }
+  (void)delivered;
+}
+
+void TpccWorkload::DoStockLevel(Transaction* txn) {
+  // Read-only: district + recent order lines + stock rows.
+  uint32_t w = static_cast<uint32_t>(rng_.Uniform(config_.warehouses));
+  uint32_t d =
+      static_cast<uint32_t>(rng_.Uniform(config_.districts_per_warehouse));
+  txn->Get(district_, DistrictKey(w, d));
+  for (uint32_t n = 0; n < 20; ++n) {
+    uint32_t i = static_cast<uint32_t>(rng_.Uniform(config_.populated_items));
+    txn->Get(stock_, StockKey(w, i));
+  }
+}
+
+}  // namespace xssd::db

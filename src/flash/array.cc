@@ -1,0 +1,213 @@
+#include "flash/array.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xssd::flash {
+
+Array::Array(sim::Simulator* sim, Geometry geometry, Timing timing,
+             Reliability reliability, uint64_t seed)
+    : sim_(sim),
+      geometry_(geometry),
+      timing_(timing),
+      reliability_(reliability),
+      rng_(seed) {
+  dies_.resize(geometry_.dies());
+  const uint32_t blocks_per_die =
+      geometry_.planes_per_die * geometry_.blocks_per_plane;
+  for (Die& die : dies_) {
+    die.blocks.resize(blocks_per_die);
+    for (Block& block : die.blocks) {
+      block.pages.resize(geometry_.pages_per_block);
+      if (reliability_.factory_bad_block_rate > 0 &&
+          rng_.Bernoulli(reliability_.factory_bad_block_rate)) {
+        block.bad = true;
+      }
+    }
+  }
+  channel_bus_.reserve(geometry_.channels);
+  for (uint32_t c = 0; c < geometry_.channels; ++c) {
+    channel_bus_.push_back(std::make_unique<sim::BandwidthServer>(
+        sim_, timing_.channel_bytes_per_sec, timing_.command_overhead));
+  }
+}
+
+Array::Block& Array::BlockAt(const Address& addr) {
+  Die& die = DieAt(addr.channel, addr.die);
+  return die.blocks[addr.plane * geometry_.blocks_per_plane + addr.block];
+}
+
+const Array::Block& Array::BlockAt(const Address& addr) const {
+  const Die& die = DieAt(addr.channel, addr.die);
+  return die.blocks[addr.plane * geometry_.blocks_per_plane + addr.block];
+}
+
+sim::SimTime Array::OccupyDie(Die& die, sim::SimTime earliest,
+                              sim::SimTime duration) {
+  sim::SimTime start = std::max(earliest, die.busy_until);
+  die.busy_until = start + duration;
+  return die.busy_until;
+}
+
+uint64_t Array::SampleBitErrors(const Block& block) {
+  double ber = reliability_.raw_bit_error_rate +
+               reliability_.ber_per_pe_cycle * block.erase_count;
+  if (ber <= 0) return 0;
+  // Binomial(page_bits, ber) approximated by its Poisson limit; exact
+  // sampling is irrelevant at these rates.
+  double mean = ber * geometry_.page_bytes * 8.0;
+  uint64_t errors = 0;
+  // Poisson via exponential inter-arrivals (mean is tiny in practice).
+  double acc = rng_.Exponential(1.0);
+  while (acc < mean) {
+    ++errors;
+    acc += rng_.Exponential(1.0);
+  }
+  return errors;
+}
+
+void Array::Program(const Address& addr, std::vector<uint8_t> data,
+                    ProgramCallback done,
+                    sim::Simulator::Callback bus_released) {
+  XSSD_CHECK(Contains(geometry_, addr));
+  Block& block = BlockAt(addr);
+  if (block.bad) {
+    sim_->Schedule(timing_.command_overhead,
+                   [done = std::move(done),
+                    bus_released = std::move(bus_released)]() mutable {
+                     if (bus_released) bus_released();
+                     done(Status::IoError("program to bad block"));
+                   });
+    return;
+  }
+  if (addr.page != block.next_page) {
+    // NAND requires in-order page programming within an erased block.
+    sim_->Schedule(timing_.command_overhead,
+                   [done = std::move(done),
+                    bus_released = std::move(bus_released)]() mutable {
+                     if (bus_released) bus_released();
+                     done(Status::FailedPrecondition(
+                         "out-of-order page program"));
+                   });
+    return;
+  }
+  data.resize(geometry_.page_bytes, 0);
+
+  bool fail = reliability_.program_fail_rate > 0 &&
+              rng_.Bernoulli(reliability_.program_fail_rate);
+
+  // Data moves over the channel bus into the die's page register, then the
+  // die is busy for tPROG.
+  sim::SimTime bus_done =
+      channel_bus_[addr.channel]->Acquire(geometry_.page_bytes);
+  if (bus_released) sim_->ScheduleAt(bus_done, std::move(bus_released));
+  Die& die = DieAt(addr.channel, addr.die);
+  sim::SimTime prog_done = OccupyDie(die, bus_done, timing_.program_latency);
+
+  ++stats_.programs;
+  if (fail) {
+    ++stats_.program_failures;
+    block.bad = true;
+    sim_->ScheduleAt(prog_done, [done = std::move(done)]() {
+      done(Status::IoError("program operation failed"));
+    });
+    return;
+  }
+  block.pages[addr.page] = std::move(data);
+  block.next_page = addr.page + 1;
+  sim_->ScheduleAt(prog_done,
+                   [done = std::move(done)]() { done(Status::OK()); });
+}
+
+void Array::Read(const Address& addr, ReadCallback done) {
+  XSSD_CHECK(Contains(geometry_, addr));
+  Block& block = BlockAt(addr);
+  ++stats_.reads;
+
+  // tR moves the page into the register, then it streams over the bus.
+  Die& die = DieAt(addr.channel, addr.die);
+  sim::SimTime sense_done = OccupyDie(die, sim_->Now(), timing_.read_latency);
+  sim::SimTime start_bus = std::max(sense_done, sim_->Now());
+  // Bus transfer starts once the register holds the data.
+  sim::SimTime bus_done = std::max(
+      channel_bus_[addr.channel]->Acquire(geometry_.page_bytes), start_bus);
+
+  std::vector<uint8_t> data = block.pages[addr.page];
+  if (data.empty()) data.assign(geometry_.page_bytes, 0xFF);  // erased page
+
+  uint64_t errors = SampleBitErrors(block);
+  Status status = Status::OK();
+  if (errors > reliability_.ecc_correctable_bits) {
+    ++stats_.uncorrectable_reads;
+    // Corrupt the returned image deterministically.
+    for (uint64_t i = 0; i < errors && i < 64; ++i) {
+      uint64_t bit = rng_.Uniform(data.size() * 8);
+      data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    status = Status::Corruption("uncorrectable bit errors");
+  } else {
+    stats_.corrected_bit_errors += errors;
+  }
+  sim_->ScheduleAt(bus_done, [status, data = std::move(data),
+                              done = std::move(done)]() mutable {
+    done(status, std::move(data));
+  });
+}
+
+void Array::Erase(const Address& addr, EraseCallback done) {
+  XSSD_CHECK(Contains(geometry_, addr));
+  Block& block = BlockAt(addr);
+  if (block.bad) {
+    sim_->Schedule(timing_.command_overhead, [done = std::move(done)]() {
+      done(Status::IoError("erase of bad block"));
+    });
+    return;
+  }
+  Die& die = DieAt(addr.channel, addr.die);
+  sim::SimTime erase_done =
+      OccupyDie(die, sim_->Now() + timing_.command_overhead,
+                timing_.erase_latency);
+  ++stats_.erases;
+  ++block.erase_count;
+  for (auto& page : block.pages) page.clear();
+  block.next_page = 0;
+  sim_->ScheduleAt(erase_done,
+                   [done = std::move(done)]() { done(Status::OK()); });
+}
+
+bool Array::DieIdle(uint32_t channel, uint32_t die) const {
+  return DieAt(channel, die).busy_until <= sim_->Now();
+}
+
+bool Array::ChannelIdle(uint32_t channel) const {
+  return channel_bus_[channel]->IdleNow();
+}
+
+sim::SimTime Array::DieBusyUntil(uint32_t channel, uint32_t die) const {
+  return DieAt(channel, die).busy_until;
+}
+
+bool Array::IsBadBlock(const Address& addr) const {
+  return BlockAt(addr).bad;
+}
+
+uint32_t Array::EraseCount(const Address& addr) const {
+  return BlockAt(addr).erase_count;
+}
+
+const std::vector<uint8_t>* Array::PeekPage(const Address& addr) const {
+  const Block& block = BlockAt(addr);
+  if (block.pages[addr.page].empty()) return nullptr;
+  return &block.pages[addr.page];
+}
+
+double Array::MaxProgramBandwidth() const {
+  double per_die = static_cast<double>(geometry_.page_bytes) /
+                   sim::ToSec(timing_.program_latency);
+  double die_bound = per_die * geometry_.dies();
+  double bus_bound = timing_.channel_bytes_per_sec * geometry_.channels;
+  return std::min(die_bound, bus_bound);
+}
+
+}  // namespace xssd::flash

@@ -1,0 +1,132 @@
+#ifndef XSSD_FLASH_ARRAY_H_
+#define XSSD_FLASH_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "flash/geometry.h"
+#include "flash/timing.h"
+#include "sim/bandwidth_server.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace xssd::flash {
+
+/// Per-array operation statistics.
+struct ArrayStats {
+  uint64_t reads = 0;
+  uint64_t programs = 0;
+  uint64_t erases = 0;
+  uint64_t program_failures = 0;
+  uint64_t corrected_bit_errors = 0;
+  uint64_t uncorrectable_reads = 0;
+};
+
+/// \brief The NAND flash array: channels × dies with real page contents and
+/// timing-accurate operation service.
+///
+/// This is the "Flash Storage Controller + Flash arrays" bottom layer of
+/// Figure 2. The array enforces NAND physics:
+///  - a die serves one operation at a time (tR / tPROG / tBERS busy);
+///  - page data moves over the per-channel bus at channel_bytes_per_sec;
+///  - pages must be programmed in order within an erased block;
+///  - reads sample bit errors against the ECC budget (wear-dependent).
+///
+/// Scheduling *policy* (who goes next) lives above, in ftl::Scheduler; the
+/// array exposes busy probes so the scheduler can be opportunistic.
+class Array {
+ public:
+  using ProgramCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Status, std::vector<uint8_t>)>;
+  using EraseCallback = std::function<void(Status)>;
+
+  Array(sim::Simulator* sim, Geometry geometry, Timing timing,
+        Reliability reliability, uint64_t seed);
+
+  Array(const Array&) = delete;
+  Array& operator=(const Array&) = delete;
+
+  /// Program a full page. `data` shorter than page_bytes is zero-padded.
+  /// Fails with kIoError on (injected) program failure — the caller must
+  /// treat the block as bad — or kFailedPrecondition on NAND rule
+  /// violations (page not erased / out-of-order program).
+  /// `bus_released` (optional) fires when the channel-bus transfer into the
+  /// die's page register finishes — the point the scheduler may start the
+  /// next transfer on this channel while tPROG runs.
+  void Program(const Address& addr, std::vector<uint8_t> data,
+               ProgramCallback done,
+               sim::Simulator::Callback bus_released = nullptr);
+
+  /// Read a full page. kCorruption when errors exceed the ECC budget; the
+  /// returned data is then the *corrupted* image.
+  void Read(const Address& addr, ReadCallback done);
+
+  /// Erase a block (page component of `addr` ignored).
+  void Erase(const Address& addr, EraseCallback done);
+
+  // -- Scheduler probes -----------------------------------------------------
+
+  /// True if the die can start an operation right now.
+  bool DieIdle(uint32_t channel, uint32_t die) const;
+  /// True if the channel bus can start a transfer right now.
+  bool ChannelIdle(uint32_t channel) const;
+  /// Absolute time the die becomes free.
+  sim::SimTime DieBusyUntil(uint32_t channel, uint32_t die) const;
+
+  bool IsBadBlock(const Address& addr) const;
+  uint32_t EraseCount(const Address& addr) const;
+
+  /// Synchronous functional peek at stored page bytes (tests/recovery
+  /// tooling only — no timing, no ECC).
+  const std::vector<uint8_t>* PeekPage(const Address& addr) const;
+
+  const Geometry& geometry() const { return geometry_; }
+  const Timing& timing() const { return timing_; }
+  const ArrayStats& stats() const { return stats_; }
+
+  /// Aggregate sustainable program bandwidth (all dies busy), bytes/sec.
+  double MaxProgramBandwidth() const;
+
+ private:
+  struct Block {
+    std::vector<std::vector<uint8_t>> pages;  // empty vector == erased
+    uint32_t next_page = 0;                   // NAND in-order program cursor
+    uint32_t erase_count = 0;
+    bool bad = false;
+  };
+  struct Die {
+    sim::SimTime busy_until = 0;
+    std::vector<Block> blocks;  // planes * blocks_per_plane
+  };
+
+  Block& BlockAt(const Address& addr);
+  const Block& BlockAt(const Address& addr) const;
+  Die& DieAt(uint32_t channel, uint32_t die) { return dies_[channel * geometry_.dies_per_channel + die]; }
+  const Die& DieAt(uint32_t channel, uint32_t die) const {
+    return dies_[channel * geometry_.dies_per_channel + die];
+  }
+
+  /// Occupy the die starting no earlier than `earliest`; returns end time.
+  sim::SimTime OccupyDie(Die& die, sim::SimTime earliest,
+                         sim::SimTime duration);
+
+  /// Sample read bit errors for a block at its current wear.
+  uint64_t SampleBitErrors(const Block& block);
+
+  sim::Simulator* sim_;
+  Geometry geometry_;
+  Timing timing_;
+  Reliability reliability_;
+  sim::Rng rng_;
+
+  std::vector<Die> dies_;
+  std::vector<std::unique_ptr<sim::BandwidthServer>> channel_bus_;
+  ArrayStats stats_;
+};
+
+}  // namespace xssd::flash
+
+#endif  // XSSD_FLASH_ARRAY_H_

@@ -1,0 +1,64 @@
+#include "flash/geometry.h"
+
+#include <sstream>
+
+namespace xssd::flash {
+
+std::string Address::ToString() const {
+  std::ostringstream os;
+  os << "ch" << channel << "/die" << die << "/pl" << plane << "/blk" << block
+     << "/pg" << page;
+  return os.str();
+}
+
+uint64_t PageIndex(const Geometry& g, const Address& a) {
+  uint64_t idx = a.channel;
+  idx = idx * g.dies_per_channel + a.die;
+  idx = idx * g.planes_per_die + a.plane;
+  idx = idx * g.blocks_per_plane + a.block;
+  idx = idx * g.pages_per_block + a.page;
+  return idx;
+}
+
+Address AddressOfPage(const Geometry& g, uint64_t page_index) {
+  Address a;
+  a.page = static_cast<uint32_t>(page_index % g.pages_per_block);
+  page_index /= g.pages_per_block;
+  a.block = static_cast<uint32_t>(page_index % g.blocks_per_plane);
+  page_index /= g.blocks_per_plane;
+  a.plane = static_cast<uint32_t>(page_index % g.planes_per_die);
+  page_index /= g.planes_per_die;
+  a.die = static_cast<uint32_t>(page_index % g.dies_per_channel);
+  page_index /= g.dies_per_channel;
+  a.channel = static_cast<uint32_t>(page_index);
+  return a;
+}
+
+uint64_t BlockIndex(const Geometry& g, const Address& a) {
+  uint64_t idx = a.channel;
+  idx = idx * g.dies_per_channel + a.die;
+  idx = idx * g.planes_per_die + a.plane;
+  idx = idx * g.blocks_per_plane + a.block;
+  return idx;
+}
+
+Address AddressOfBlock(const Geometry& g, uint64_t block_index) {
+  Address a;
+  a.block = static_cast<uint32_t>(block_index % g.blocks_per_plane);
+  block_index /= g.blocks_per_plane;
+  a.plane = static_cast<uint32_t>(block_index % g.planes_per_die);
+  block_index /= g.planes_per_die;
+  a.die = static_cast<uint32_t>(block_index % g.dies_per_channel);
+  block_index /= g.dies_per_channel;
+  a.channel = static_cast<uint32_t>(block_index);
+  a.page = 0;
+  return a;
+}
+
+bool Contains(const Geometry& g, const Address& a) {
+  return a.channel < g.channels && a.die < g.dies_per_channel &&
+         a.plane < g.planes_per_die && a.block < g.blocks_per_plane &&
+         a.page < g.pages_per_block;
+}
+
+}  // namespace xssd::flash

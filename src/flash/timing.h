@@ -1,0 +1,38 @@
+#ifndef XSSD_FLASH_TIMING_H_
+#define XSSD_FLASH_TIMING_H_
+
+#include "sim/time.h"
+
+namespace xssd::flash {
+
+/// \brief NAND operation latencies and channel speed.
+///
+/// Defaults model the MLC NAND on the Cosmos+ board in the paper's
+/// prototype class: tR ≈ 45 µs, tPROG ≈ 300 µs, tBERS ≈ 3.5 ms, with a
+/// 250 MB/s channel bus (8 channels ≈ 2 GB/s aggregate, matching the
+/// platform's stated 2 GB/s ceiling [44]).
+struct Timing {
+  sim::SimTime read_latency = sim::Us(45);      ///< tR: cell array -> page reg
+  sim::SimTime program_latency = sim::Us(250);  ///< tPROG (fast-page MLC)
+  sim::SimTime erase_latency = sim::Us(3500);   ///< tBERS
+  double channel_bytes_per_sec = 250e6;         ///< page reg <-> controller
+  sim::SimTime command_overhead = sim::Us(1);   ///< cmd/addr cycles per op
+};
+
+/// \brief Reliability model knobs.
+struct Reliability {
+  /// Raw bit-error rate per read at zero wear. 0 disables injection.
+  double raw_bit_error_rate = 0.0;
+  /// Additional BER per program/erase cycle of the block (wear-out).
+  double ber_per_pe_cycle = 0.0;
+  /// Correctable bits per page (BCH-class code strength, whole-page basis).
+  uint32_t ecc_correctable_bits = 72;
+  /// Probability a program operation fails, grows with wear.
+  double program_fail_rate = 0.0;
+  /// Fraction of blocks marked factory-bad.
+  double factory_bad_block_rate = 0.0;
+};
+
+}  // namespace xssd::flash
+
+#endif  // XSSD_FLASH_TIMING_H_

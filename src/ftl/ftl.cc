@@ -1,0 +1,357 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xssd::ftl {
+
+namespace {
+
+BlockAllocator::Stream StreamFor(IoClass io_class) {
+  return io_class == IoClass::kDestage ? BlockAllocator::kDestageStream
+                                       : BlockAllocator::kConventionalStream;
+}
+
+}  // namespace
+
+Ftl::Ftl(sim::Simulator* sim, flash::Array* array, FtlConfig config)
+    : sim_(sim),
+      array_(array),
+      config_(config),
+      scheduler_(sim, array),
+      map_(array->geometry(),
+           static_cast<uint64_t>(
+               static_cast<double>(array->geometry().pages()) *
+               (1.0 - config.overprovision))),
+      allocator_(array->geometry()),
+      buffer_port_(sim, config.buffer_bytes_per_sec) {}
+
+void Ftl::TouchLru(uint64_t lpn) {
+  auto it = buffer_.find(lpn);
+  XSSD_CHECK(it != buffer_.end());
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(lpn);
+  it->second.lru_pos = lru_.begin();
+}
+
+void Ftl::EvictIfNeeded() {
+  while (buffer_.size() > config_.buffer_pages && !lru_.empty()) {
+    // Evict the least-recently-used *clean* page; dirty pages leave the
+    // buffer only through writeback.
+    bool evicted = false;
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      auto it = buffer_.find(*rit);
+      if (!it->second.dirty && !it->second.flushing) {
+        lru_.erase(std::next(rit).base());
+        buffer_.erase(it);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // everything dirty; flushing will drain it
+  }
+}
+
+void Ftl::WriteBuffered(uint64_t lpn, std::vector<uint8_t> data,
+                        WriteCallback done) {
+  XSSD_CHECK(lpn < map_.lpn_count());
+  data.resize(page_bytes(), 0);
+  ++stats_.host_writes;
+
+  // Device-side back-pressure: when the data buffer is all dirty, new
+  // writes wait for writeback to free a slot (the host sees a slower ack,
+  // exactly like a saturated real device).
+  if (dirty_count_ + flush_inflight_ >= config_.buffer_pages &&
+      buffer_.find(lpn) == buffer_.end()) {
+    admission_queue_.push_back(
+        AdmissionWaiter{lpn, std::move(data), std::move(done)});
+    MaybeScheduleFlush();
+    return;
+  }
+  AdmitWrite(lpn, std::move(data), std::move(done));
+}
+
+void Ftl::AdmitWrite(uint64_t lpn, std::vector<uint8_t> data,
+                     WriteCallback done) {
+  auto it = buffer_.find(lpn);
+  if (it == buffer_.end()) {
+    lru_.push_front(lpn);
+    BufferSlot slot;
+    slot.data = std::move(data);
+    slot.dirty = true;
+    slot.lru_pos = lru_.begin();
+    buffer_.emplace(lpn, std::move(slot));
+    ++dirty_count_;
+  } else {
+    it->second.data = std::move(data);
+    if (!it->second.dirty) {
+      it->second.dirty = true;
+      ++dirty_count_;
+    }
+    TouchLru(lpn);
+  }
+  EvictIfNeeded();
+  MaybeScheduleFlush();
+
+  // Acknowledge once the data has crossed the device DRAM port plus a
+  // small firmware cost — the device-visible latency of a cached write.
+  sim::SimTime ack = buffer_port_.Acquire(page_bytes());
+  sim_->ScheduleAt(ack + config_.firmware_latency,
+                   [done = std::move(done)]() { done(Status::OK()); });
+}
+
+void Ftl::WriteDirect(IoClass io_class, uint64_t lpn,
+                      std::vector<uint8_t> data, WriteCallback done) {
+  XSSD_CHECK(lpn < map_.lpn_count());
+  data.resize(page_bytes(), 0);
+  ++stats_.host_writes;
+  // A direct write supersedes any buffered copy.
+  auto it = buffer_.find(lpn);
+  if (it != buffer_.end()) {
+    if (it->second.dirty) --dirty_count_;
+    lru_.erase(it->second.lru_pos);
+    buffer_.erase(it);
+  }
+  ProgramPage(io_class, StreamFor(io_class), lpn, std::move(data),
+              std::move(done));
+}
+
+void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
+                      uint64_t lpn, std::vector<uint8_t> data,
+                      WriteCallback done) {
+  Result<flash::Address> addr = allocator_.AllocatePage(stream);
+  if (!addr.ok()) {
+    // Out of erased blocks: force a GC pass, then retry.
+    MaybeStartGc();
+    if (!gc_running_) {
+      done(Status::ResourceExhausted("device full: no erased blocks"));
+      return;
+    }
+    sim_->Schedule(sim::Us(100), [this, io_class, stream, lpn,
+                                  data = std::move(data),
+                                  done = std::move(done)]() mutable {
+      ProgramPage(io_class, stream, lpn, std::move(data), std::move(done));
+    });
+    return;
+  }
+  flash::Address target = *addr;
+  uint64_t ppn = flash::PageIndex(array_->geometry(), target);
+  scheduler_.Program(
+      io_class, target, data,
+      [this, io_class, stream, lpn, ppn, target, data,
+       done = std::move(done)](Status status) mutable {
+        if (status.IsIoError()) {
+          // Grown bad block: retire it and retry elsewhere (paper §7.1:
+          // "handled internally by picking a new block to write").
+          uint64_t block = flash::BlockIndex(array_->geometry(), target);
+          allocator_.MarkBad(block);
+          ++stats_.bad_block_retires;
+          ProgramPage(io_class, stream, lpn, std::move(data),
+                      std::move(done));
+          return;
+        }
+        if (!status.ok()) {
+          done(status);
+          return;
+        }
+        ++stats_.flash_programs;
+        map_.Map(lpn, ppn);
+        MaybeStartGc();
+        done(Status::OK());
+      });
+}
+
+void Ftl::ReadPage(IoClass io_class, uint64_t lpn, ReadCallback done) {
+  XSSD_CHECK(lpn < map_.lpn_count());
+  auto it = buffer_.find(lpn);
+  if (it != buffer_.end()) {
+    ++stats_.buffer_hits;
+    TouchLru(lpn);
+    std::vector<uint8_t> copy = it->second.data;
+    sim::SimTime at = buffer_port_.Acquire(page_bytes());
+    sim_->ScheduleAt(at + config_.firmware_latency,
+                     [copy = std::move(copy), done = std::move(done)]() mutable {
+                       done(Status::OK(), std::move(copy));
+                     });
+    return;
+  }
+  uint64_t ppn = map_.Lookup(lpn);
+  if (ppn == kUnmapped) {
+    // Unwritten page reads as zeros, like a fresh namespace.
+    sim_->Schedule(config_.firmware_latency,
+                   [len = page_bytes(), done = std::move(done)]() {
+                     done(Status::OK(), std::vector<uint8_t>(len, 0));
+                   });
+    return;
+  }
+  flash::Address addr = flash::AddressOfPage(array_->geometry(), ppn);
+  scheduler_.Read(io_class, addr, std::move(done));
+}
+
+void Ftl::MaybeScheduleFlush() {
+  while (flush_inflight_ < config_.max_writeback_inflight &&
+         (dirty_count_ > config_.flush_watermark ||
+          !admission_queue_.empty() || !flush_waiters_.empty())) {
+    if (!FlushOne()) break;
+  }
+}
+
+bool Ftl::FlushOne() {
+  // Oldest dirty page first.
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = buffer_.find(*rit);
+    if (!it->second.dirty || it->second.flushing) continue;
+    uint64_t lpn = *rit;
+    it->second.flushing = true;
+    it->second.dirty = false;
+    --dirty_count_;
+    ++flush_inflight_;
+    std::vector<uint8_t> data = it->second.data;
+    ProgramPage(IoClass::kConventional, BlockAllocator::kConventionalStream,
+                lpn, std::move(data), [this, lpn](Status status) {
+                  auto slot = buffer_.find(lpn);
+                  if (slot != buffer_.end()) slot->second.flushing = false;
+                  --flush_inflight_;
+                  ++flushed_generation_;
+                  if (!status.ok()) {
+                    XSSD_LOG(kWarning)
+                        << "writeback of lpn " << lpn
+                        << " failed: " << status.ToString();
+                  }
+                  CheckFlushWaiters();
+                  EvictIfNeeded();
+                  DrainAdmissionQueue();
+                  MaybeScheduleFlush();
+                });
+    return true;
+  }
+  return false;
+}
+
+void Ftl::DrainAdmissionQueue() {
+  while (!admission_queue_.empty() &&
+         dirty_count_ + flush_inflight_ < config_.buffer_pages) {
+    AdmissionWaiter waiter = std::move(admission_queue_.front());
+    admission_queue_.pop_front();
+    AdmitWrite(waiter.lpn, std::move(waiter.data), std::move(waiter.done));
+  }
+}
+
+void Ftl::CheckFlushWaiters() {
+  auto it = flush_waiters_.begin();
+  while (it != flush_waiters_.end()) {
+    if (flushed_generation_ >= it->remaining) {
+      FlushCallback done = std::move(it->done);
+      it = flush_waiters_.erase(it);
+      done(Status::OK());
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Ftl::Flush(FlushCallback done) {
+  if (dirty_count_ == 0 && flush_inflight_ == 0) {
+    sim_->Schedule(config_.firmware_latency, [done = std::move(done)]() {
+      done(Status::OK());
+    });
+    return;
+  }
+  FlushWaiter waiter;
+  waiter.remaining = flushed_generation_ + dirty_count_ + flush_inflight_;
+  waiter.done = std::move(done);
+  flush_waiters_.push_back(std::move(waiter));
+  MaybeScheduleFlush();
+}
+
+void Ftl::Trim(uint64_t lpn) {
+  XSSD_CHECK(lpn < map_.lpn_count());
+  auto it = buffer_.find(lpn);
+  if (it != buffer_.end()) {
+    if (it->second.dirty) --dirty_count_;
+    lru_.erase(it->second.lru_pos);
+    buffer_.erase(it);
+  }
+  map_.Unmap(lpn);
+}
+
+void Ftl::MaybeStartGc() {
+  if (gc_running_) return;
+  if (allocator_.free_blocks() >= config_.gc_low_watermark) return;
+  gc_running_ = true;
+  GcStep();
+}
+
+void Ftl::GcStep() {
+  if (allocator_.free_blocks() >= config_.gc_low_watermark * 2 ||
+      allocator_.sealed_blocks().empty()) {
+    gc_running_ = false;
+    return;
+  }
+  // Greedy victim: sealed block with the fewest valid pages.
+  uint64_t victim = allocator_.sealed_blocks().front();
+  uint32_t best = map_.ValidCount(victim);
+  for (uint64_t candidate : allocator_.sealed_blocks()) {
+    uint32_t valid = map_.ValidCount(candidate);
+    if (valid < best) {
+      victim = candidate;
+      best = valid;
+      if (best == 0) break;
+    }
+  }
+  allocator_.Unseal(victim);
+
+  const flash::Geometry& geom = array_->geometry();
+  auto relocate = std::make_shared<std::function<void(uint32_t)>>();
+  auto self = this;
+  *relocate = [self, victim, geom, relocate](uint32_t page) {
+    if (page == geom.pages_per_block) {
+      // All valid pages moved; erase and recycle.
+      flash::Address blk = flash::AddressOfBlock(geom, victim);
+      self->scheduler_.Erase(
+          IoClass::kConventional, blk, [self, victim](Status status) {
+            if (status.ok()) {
+              self->map_.OnBlockErased(victim);
+              self->allocator_.Release(victim);
+              ++self->stats_.gc_erases;
+            } else {
+              self->allocator_.MarkBad(victim);
+              ++self->stats_.bad_block_retires;
+            }
+            self->GcStep();
+          });
+      return;
+    }
+    uint64_t ppn = victim * geom.pages_per_block + page;
+    uint64_t lpn = self->map_.ReverseLookup(ppn);
+    if (lpn == kUnmapped) {
+      (*relocate)(page + 1);
+      return;
+    }
+    flash::Address addr = flash::AddressOfPage(geom, ppn);
+    self->scheduler_.Read(
+        IoClass::kConventional, addr,
+        [self, lpn, ppn, page, relocate](Status status,
+                                         std::vector<uint8_t> data) {
+          if (!status.ok()) {
+            XSSD_LOG(kWarning) << "GC read failed: " << status.ToString();
+            (*relocate)(page + 1);
+            return;
+          }
+          if (self->map_.Lookup(lpn) != ppn) {
+            // Overwritten while the relocation read was in flight; the
+            // page is stale now — skip it.
+            (*relocate)(page + 1);
+            return;
+          }
+          ++self->stats_.gc_relocations;
+          self->ProgramPage(IoClass::kConventional,
+                            BlockAllocator::kGcStream, lpn, std::move(data),
+                            [relocate, page](Status) { (*relocate)(page + 1); });
+        });
+  };
+  (*relocate)(0);
+}
+
+}  // namespace xssd::ftl

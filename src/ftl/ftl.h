@@ -1,0 +1,170 @@
+#ifndef XSSD_FTL_FTL_H_
+#define XSSD_FTL_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "flash/array.h"
+#include "ftl/mapping.h"
+#include "ftl/scheduler.h"
+#include "sim/bandwidth_server.h"
+
+namespace xssd::ftl {
+
+/// \brief FTL configuration.
+struct FtlConfig {
+  /// Fraction of raw capacity reserved as over-provisioning.
+  double overprovision = 0.125;
+  /// Data-buffer capacity in pages (the device DRAM write cache).
+  uint32_t buffer_pages = 256;
+  /// Background flush starts when dirty pages exceed this count.
+  uint32_t flush_watermark = 64;
+  /// Concurrent background writebacks (spread across dies).
+  uint32_t max_writeback_inflight = 32;
+  /// GC starts when the erased-block pool falls below this count.
+  uint64_t gc_low_watermark = 8;
+  /// Device DRAM bandwidth serving the data buffer (DDR3 on Cosmos+).
+  double buffer_bytes_per_sec = 2e9;
+  /// Fixed device firmware latency per buffered-write acknowledgment.
+  sim::SimTime firmware_latency = sim::Us(2);
+};
+
+/// Cumulative FTL statistics.
+struct FtlStats {
+  uint64_t host_writes = 0;       ///< pages written by callers
+  uint64_t flash_programs = 0;    ///< pages programmed to NAND
+  uint64_t gc_relocations = 0;    ///< valid pages moved by GC
+  uint64_t gc_erases = 0;
+  uint64_t buffer_hits = 0;       ///< reads served from the data buffer
+  uint64_t bad_block_retires = 0;
+
+  /// Write amplification factor observed so far.
+  double WriteAmplification() const {
+    return host_writes == 0
+               ? 1.0
+               : static_cast<double>(flash_programs) / host_writes;
+  }
+};
+
+/// \brief The Firmware layer of Figure 2: page-mapped FTL with a DRAM
+/// write-back data buffer, greedy garbage collection, bad-block
+/// management, and the two-class channel scheduler underneath.
+///
+/// Conventional writes land in the data buffer and are acknowledged
+/// immediately (write-back); Flush() provides the durability barrier the
+/// NVMe Flush command maps to. Destage-class writes (the fast side's ring)
+/// bypass the buffer — the CMB backing memory *is* their buffer — and go
+/// straight to NAND through the scheduler.
+class Ftl {
+ public:
+  using WriteCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Status, std::vector<uint8_t>)>;
+  using FlushCallback = std::function<void(Status)>;
+
+  Ftl(sim::Simulator* sim, flash::Array* array, FtlConfig config);
+
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  /// Logical pages exposed to callers (raw minus over-provisioning).
+  uint64_t lpn_count() const { return map_.lpn_count(); }
+  uint32_t page_bytes() const { return array_->geometry().page_bytes; }
+
+  /// Buffered page write (conventional class). `done` fires when the data
+  /// is accepted into the data buffer, not when it reaches NAND.
+  void WriteBuffered(uint64_t lpn, std::vector<uint8_t> data,
+                     WriteCallback done);
+
+  /// Direct page write that bypasses the buffer. `done` fires when the
+  /// page is programmed. Used by the Destage module (IoClass::kDestage)
+  /// and by GC internally.
+  void WriteDirect(IoClass io_class, uint64_t lpn, std::vector<uint8_t> data,
+                   WriteCallback done);
+
+  /// Page read; served from the data buffer when present.
+  void ReadPage(IoClass io_class, uint64_t lpn, ReadCallback done);
+
+  /// Durability barrier: `done` fires when every page dirty at call time
+  /// has been programmed.
+  void Flush(FlushCallback done);
+
+  /// Invalidate a logical page.
+  void Trim(uint64_t lpn);
+
+  Scheduler& scheduler() { return scheduler_; }
+  const FtlStats& stats() const { return stats_; }
+  uint64_t dirty_pages() const { return dirty_count_; }
+  uint64_t free_blocks() const { return allocator_.free_blocks(); }
+
+ private:
+  struct BufferSlot {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    bool flushing = false;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  /// Program `data` for `lpn` via `stream`, retrying on grown-bad blocks.
+  void ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
+                   uint64_t lpn, std::vector<uint8_t> data,
+                   WriteCallback done);
+
+  /// Kick background flushing if the dirty count warrants it.
+  void MaybeScheduleFlush();
+  /// Write back one dirty page (LRU order). Returns false if nothing
+  /// could be started.
+  bool FlushOne();
+  /// Admit a buffered write or queue it when the buffer is saturated.
+  void AdmitWrite(uint64_t lpn, std::vector<uint8_t> data,
+                  WriteCallback done);
+  void DrainAdmissionQueue();
+  /// Resolve Flush() waiters whose target has been reached.
+  void CheckFlushWaiters();
+
+  /// Kick GC if the free pool is low.
+  void MaybeStartGc();
+  void GcStep();
+
+  void TouchLru(uint64_t lpn);
+  void EvictIfNeeded();
+
+  sim::Simulator* sim_;
+  flash::Array* array_;
+  FtlConfig config_;
+  Scheduler scheduler_;
+  PageMap map_;
+  BlockAllocator allocator_;
+  sim::BandwidthServer buffer_port_;
+
+  std::unordered_map<uint64_t, BufferSlot> buffer_;  // lpn -> slot
+  std::list<uint64_t> lru_;                          // front = most recent
+  uint64_t dirty_count_ = 0;
+  uint64_t flush_inflight_ = 0;
+
+  struct FlushWaiter {
+    uint64_t remaining;  // dirty+inflight pages to retire before done
+    FlushCallback done;
+  };
+  std::vector<FlushWaiter> flush_waiters_;
+  uint64_t flushed_generation_ = 0;  // pages written back so far
+
+  struct AdmissionWaiter {
+    uint64_t lpn;
+    std::vector<uint8_t> data;
+    WriteCallback done;
+  };
+  std::deque<AdmissionWaiter> admission_queue_;
+
+  bool gc_running_ = false;
+  FtlStats stats_;
+};
+
+}  // namespace xssd::ftl
+
+#endif  // XSSD_FTL_FTL_H_

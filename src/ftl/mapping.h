@@ -1,0 +1,114 @@
+#ifndef XSSD_FTL_MAPPING_H_
+#define XSSD_FTL_MAPPING_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "flash/geometry.h"
+
+namespace xssd::ftl {
+
+inline constexpr uint64_t kUnmapped = ~0ull;
+
+/// \brief Page-level logical→physical mapping with reverse map and
+/// per-block valid-page counts (the GC victim-selection signal).
+class PageMap {
+ public:
+  PageMap(const flash::Geometry& geometry, uint64_t lpn_count);
+
+  uint64_t lpn_count() const { return l2p_.size(); }
+
+  /// Physical page currently backing `lpn`, or kUnmapped.
+  uint64_t Lookup(uint64_t lpn) const { return l2p_[lpn]; }
+
+  /// Point `lpn` at physical page `ppn`; the previous mapping (if any)
+  /// becomes invalid and its block's valid count drops.
+  void Map(uint64_t lpn, uint64_t ppn);
+
+  /// Drop the mapping for `lpn` (TRIM).
+  void Unmap(uint64_t lpn);
+
+  /// Logical page stored at physical page `ppn`, or kUnmapped if invalid.
+  uint64_t ReverseLookup(uint64_t ppn) const { return p2l_[ppn]; }
+
+  /// Valid (still-mapped) pages in physical block `block_index`.
+  uint32_t ValidCount(uint64_t block_index) const {
+    return valid_count_[block_index];
+  }
+
+  /// All reverse entries of a block are cleared when it is erased.
+  void OnBlockErased(uint64_t block_index);
+
+  uint64_t mapped_pages() const { return mapped_; }
+
+ private:
+  flash::Geometry geometry_;
+  std::vector<uint64_t> l2p_;
+  std::vector<uint64_t> p2l_;
+  std::vector<uint32_t> valid_count_;
+  uint64_t mapped_ = 0;
+};
+
+/// \brief Erased-block pool and per-stream, per-die write points.
+///
+/// Streams keep classes of data (conventional, destage, GC relocation) in
+/// separate blocks — the multi-stream idiom [35] — so destage-ring data is
+/// never interleaved with conventional data in one block. Each stream keeps
+/// one active block per die and hands pages out round-robin across dies for
+/// channel parallelism; within a block, pages are allocated strictly in
+/// order (the NAND program-order rule).
+class BlockAllocator {
+ public:
+  enum Stream : int {
+    kConventionalStream = 0,
+    kDestageStream = 1,
+    kGcStream = 2,
+    kStreamCount = 3,
+  };
+
+  explicit BlockAllocator(const flash::Geometry& geometry);
+
+  /// Next page to program for `stream`; advances the write point. Returns
+  /// kResourceExhausted when no erased block is available (caller must GC).
+  Result<flash::Address> AllocatePage(Stream stream);
+
+  /// Return an erased block to the pool.
+  void Release(uint64_t block_index);
+
+  /// Permanently retire a block (grown bad). If it was a stream's active
+  /// write point, the point is reset.
+  void MarkBad(uint64_t block_index);
+
+  /// Blocks that are fully programmed and not an active write point —
+  /// the GC victim candidates, oldest first.
+  const std::deque<uint64_t>& sealed_blocks() const { return sealed_; }
+  /// Remove a block from the sealed list (it is being collected).
+  void Unseal(uint64_t block_index);
+
+  uint64_t free_blocks() const { return free_count_; }
+  uint64_t bad_blocks() const { return bad_count_; }
+  uint32_t dies() const { return static_cast<uint32_t>(free_per_die_.size()); }
+
+ private:
+  struct WritePoint {
+    uint64_t block_index = kUnmapped;
+    uint32_t next_page = 0;
+  };
+
+  uint32_t DieOfBlock(uint64_t block_index) const;
+
+  flash::Geometry geometry_;
+  std::vector<std::deque<uint64_t>> free_per_die_;
+  std::deque<uint64_t> sealed_;
+  // points_[stream][die]
+  std::vector<std::vector<WritePoint>> points_;
+  std::vector<uint32_t> cursor_;  // per-stream round-robin die cursor
+  uint64_t free_count_ = 0;
+  uint64_t bad_count_ = 0;
+};
+
+}  // namespace xssd::ftl
+
+#endif  // XSSD_FTL_MAPPING_H_

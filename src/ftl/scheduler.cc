@@ -1,0 +1,163 @@
+#include "ftl/scheduler.h"
+
+#include "common/logging.h"
+
+namespace xssd::ftl {
+
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kNeutral:
+      return "neutral";
+    case SchedulingPolicy::kDestagePriority:
+      return "destage-priority";
+    case SchedulingPolicy::kConventionalPriority:
+      return "conventional-priority";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(sim::Simulator* sim, flash::Array* array,
+                     SchedulingPolicy policy)
+    : sim_(sim), array_(array), policy_(policy) {
+  channels_.resize(array_->geometry().channels);
+}
+
+void Scheduler::Enqueue(uint32_t channel, Op op) {
+  op.seq = next_seq_++;
+  queued_[static_cast<int>(op.io_class)]++;
+  channels_[channel].queue[static_cast<int>(op.io_class)].push_back(
+      std::move(op));
+  Dispatch(channel);
+}
+
+int Scheduler::FindEligible(uint32_t channel,
+                            const std::deque<Op>& queue) const {
+  for (size_t i = 0; i < queue.size(); ++i) {
+    if (array_->DieIdle(channel, queue[i].die)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Scheduler::Dispatch(uint32_t channel) {
+  ChannelState& state = channels_[channel];
+  while (!state.bus_busy) {
+    const std::deque<Op>& conv = state.queue[0];
+    const std::deque<Op>& dest = state.queue[1];
+    int conv_idx = FindEligible(channel, conv);
+    int dest_idx = FindEligible(channel, dest);
+    if (conv_idx < 0 && dest_idx < 0) return;
+
+    int pick_class = 0;
+    switch (policy_) {
+      case SchedulingPolicy::kNeutral:
+        // A traditional device: arrival order, no class awareness. Under
+        // overload each class degrades in proportion to its demand.
+        if (conv_idx >= 0 && dest_idx >= 0) {
+          pick_class = conv[conv_idx].seq < dest[dest_idx].seq ? 0 : 1;
+        } else {
+          pick_class = conv_idx >= 0 ? 0 : 1;
+        }
+        break;
+      case SchedulingPolicy::kDestagePriority:
+        // Conventional ops ride only in the gaps (Opportunistic Destaging).
+        pick_class = dest_idx >= 0 ? 1 : 0;
+        break;
+      case SchedulingPolicy::kConventionalPriority:
+        pick_class = conv_idx >= 0 ? 0 : 1;
+        break;
+    }
+    Issue(channel, pick_class, pick_class == 0 ? conv_idx : dest_idx);
+  }
+}
+
+void Scheduler::Issue(uint32_t channel, int io_class, size_t index) {
+  ChannelState& state = channels_[channel];
+  Op op = std::move(state.queue[io_class][index]);
+  state.queue[io_class].erase(state.queue[io_class].begin() + index);
+  queued_[io_class]--;
+  ++inflight_;
+  if (op.uses_bus) state.bus_busy = true;
+
+  auto bus_released = [this, channel, uses_bus = op.uses_bus]() {
+    if (uses_bus) {
+      channels_[channel].bus_busy = false;
+      Dispatch(channel);
+    }
+  };
+  auto completed = [this, channel, io_class, bytes = op.bytes]() {
+    --inflight_;
+    completed_bytes_[io_class] += bytes;
+    Dispatch(channel);
+  };
+  op.run(std::move(bus_released), std::move(completed));
+}
+
+void Scheduler::Program(IoClass io_class, const flash::Address& addr,
+                        std::vector<uint8_t> data,
+                        flash::Array::ProgramCallback done) {
+  Op op;
+  op.io_class = io_class;
+  op.die = addr.die;
+  op.bytes = array_->geometry().page_bytes;
+  op.uses_bus = true;
+  op.run = [this, addr, data = std::move(data), done = std::move(done)](
+               std::function<void()> bus_released,
+               std::function<void()> completed) mutable {
+    array_->Program(addr, std::move(data),
+                    [completed = std::move(completed),
+                     done = std::move(done)](Status status) mutable {
+                      completed();
+                      done(status);
+                    },
+                    std::move(bus_released));
+  };
+  Enqueue(addr.channel, std::move(op));
+}
+
+void Scheduler::Read(IoClass io_class, const flash::Address& addr,
+                     flash::Array::ReadCallback done) {
+  Op op;
+  op.io_class = io_class;
+  op.die = addr.die;
+  op.bytes = array_->geometry().page_bytes;
+  // Reads sense first and stream out afterwards; the array serializes the
+  // outbound transfer on the bus internally. Gate on the die only.
+  op.uses_bus = false;
+  op.run = [this, addr, done = std::move(done)](
+               std::function<void()> bus_released,
+               std::function<void()> completed) mutable {
+    bus_released();
+    array_->Read(addr, [completed = std::move(completed),
+                        done = std::move(done)](
+                           Status status,
+                           std::vector<uint8_t> data) mutable {
+      completed();
+      done(status, std::move(data));
+    });
+  };
+  Enqueue(addr.channel, std::move(op));
+}
+
+void Scheduler::Erase(IoClass io_class, const flash::Address& addr,
+                      flash::Array::EraseCallback done) {
+  Op op;
+  op.io_class = io_class;
+  op.die = addr.die;
+  op.bytes = 0;
+  op.uses_bus = false;
+  op.run = [this, addr, done = std::move(done)](
+               std::function<void()> bus_released,
+               std::function<void()> completed) mutable {
+    bus_released();
+    array_->Erase(addr, [completed = std::move(completed),
+                         done = std::move(done)](Status status) mutable {
+      completed();
+      done(status);
+    });
+  };
+  Enqueue(addr.channel, std::move(op));
+}
+
+}  // namespace xssd::ftl

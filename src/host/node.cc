@@ -1,0 +1,133 @@
+#include "host/node.h"
+
+#include "core/validate.h"
+#include "host/sync.h"
+
+namespace xssd::host {
+
+StorageNode::StorageNode(sim::Simulator* sim,
+                         const core::VillarsConfig& device_config,
+                         const pcie::FabricConfig& fabric_config,
+                         std::string name, XLogClientOptions client_options)
+    : sim_(sim),
+      name_(std::move(name)),
+      fabric_(sim, fabric_config, name_ + "/fabric"),
+      device_(sim, &fabric_, device_config, name_ + "/villars"),
+      driver_(sim, &fabric_, &device_.controller(), NodeLayout::kBar0Base),
+      ntb_(sim, &fabric_, ntb::NtbConfig{}, name_ + "/ntb"),
+      client_(std::make_unique<XLogClient>(sim, &fabric_,
+                                           NodeLayout::kCmbBase,
+                                           client_options)) {}
+
+Status StorageNode::Init() {
+  XSSD_RETURN_IF_ERROR(core::ValidateConfig(device_.config()));
+  XSSD_RETURN_IF_ERROR(
+      device_.Attach(NodeLayout::kBar0Base, NodeLayout::kCmbBase));
+  XSSD_RETURN_IF_ERROR(fabric_.AddMmioRegion(
+      NodeLayout::kNtbBase,
+      NodeLayout::kNtbWindowBytes * core::kMaxPeers, &ntb_,
+      name_ + "/ntb-bar"));
+  ntb_attached_ = true;
+  XSSD_RETURN_IF_ERROR(driver_.Initialize());
+  XSSD_RETURN_IF_ERROR(client_->Setup());
+  return Status::OK();
+}
+
+Result<uint64_t> StorageNode::ConnectWindowTo(uint32_t slot,
+                                              StorageNode& peer) {
+  if (!ntb_attached_) return Status::FailedPrecondition("Init() first");
+  uint64_t window_offset = slot * NodeLayout::kNtbWindowBytes;
+  XSSD_RETURN_IF_ERROR(ntb_.AddWindow(window_offset,
+                                      peer.device().cmb_bar_bytes(),
+                                      &peer.fabric(),
+                                      NodeLayout::kCmbBase));
+  return NodeLayout::kNtbBase + window_offset;
+}
+
+Result<uint64_t> StorageNode::ConnectMulticastWindowTo(
+    uint32_t slot, const std::vector<StorageNode*>& peers) {
+  if (!ntb_attached_) return Status::FailedPrecondition("Init() first");
+  if (peers.empty()) return Status::InvalidArgument("no multicast members");
+  uint64_t window_offset = slot * NodeLayout::kNtbWindowBytes;
+  std::vector<ntb::NtbAdapter::MulticastTarget> members;
+  uint64_t size = 0;
+  for (StorageNode* peer : peers) {
+    members.push_back(ntb::NtbAdapter::MulticastTarget{
+        &peer->fabric(), NodeLayout::kCmbBase});
+    size = std::max(size, peer->device().cmb_bar_bytes());
+  }
+  XSSD_RETURN_IF_ERROR(
+      ntb_.AddMulticastWindow(window_offset, size, std::move(members)));
+  return NodeLayout::kNtbBase + window_offset;
+}
+
+Status ReplicationGroup::AdminSync(StorageNode& node, nvme::Command cmd) {
+  SyncRunner runner(&node.simulator());
+  return runner.Await([&](std::function<void(Status)> done) {
+    node.driver().Admin(cmd, [done = std::move(done)](
+                                 nvme::Completion cpl) mutable {
+      done(cpl.ok() ? Status::OK()
+                    : Status::IoError("admin command failed"));
+    });
+  });
+}
+
+Status ReplicationGroup::Setup(core::ReplicationProtocol protocol,
+                               sim::SimTime update_period) {
+  if (nodes_.size() < 2) {
+    return Status::InvalidArgument("need a primary and >= 1 secondary");
+  }
+  StorageNode& primary = *nodes_[0];
+
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    StorageNode& secondary = *nodes_[i];
+    uint32_t peer_index = static_cast<uint32_t>(i - 1);
+
+    // Primary -> secondary window (mirror stream path).
+    Result<uint64_t> fwd =
+        primary.ConnectWindowTo(peer_index, secondary);
+    if (!fwd.ok()) return fwd.status();
+
+    // Secondary -> primary window (shadow-counter path); slot 0 on the
+    // secondary always points home.
+    Result<uint64_t> back = secondary.ConnectWindowTo(0, primary);
+    if (!back.ok()) return back.status();
+
+    // Tell the primary about its peer.
+    nvme::Command add_peer;
+    add_peer.opcode = static_cast<uint8_t>(nvme::AdminOpcode::kXssdAddPeer);
+    add_peer.cdw10 = peer_index;
+    add_peer.cdw11 = static_cast<uint32_t>(*fwd);
+    add_peer.cdw12 = static_cast<uint32_t>(*fwd >> 32);
+    XSSD_RETURN_IF_ERROR(AdminSync(primary, add_peer));
+
+    // Configure the secondary: role + where its shadow mailbox lives.
+    uint64_t shadow_addr =
+        *back + core::kRegShadowBase + 8ull * peer_index;
+    nvme::Command set_role;
+    set_role.opcode = static_cast<uint8_t>(nvme::AdminOpcode::kXssdSetRole);
+    set_role.cdw10 = static_cast<uint32_t>(core::Role::kSecondary);
+    set_role.cdw11 = static_cast<uint32_t>(shadow_addr);
+    set_role.cdw12 = static_cast<uint32_t>(shadow_addr >> 32);
+    XSSD_RETURN_IF_ERROR(AdminSync(secondary, set_role));
+
+    nvme::Command period;
+    period.opcode =
+        static_cast<uint8_t>(nvme::AdminOpcode::kXssdSetUpdatePeriod);
+    period.cdw10 = static_cast<uint32_t>(update_period);
+    XSSD_RETURN_IF_ERROR(AdminSync(secondary, period));
+  }
+
+  nvme::Command set_protocol;
+  set_protocol.opcode =
+      static_cast<uint8_t>(nvme::AdminOpcode::kXssdSetReplication);
+  set_protocol.cdw10 = static_cast<uint32_t>(protocol);
+  XSSD_RETURN_IF_ERROR(AdminSync(primary, set_protocol));
+
+  nvme::Command set_role;
+  set_role.opcode = static_cast<uint8_t>(nvme::AdminOpcode::kXssdSetRole);
+  set_role.cdw10 = static_cast<uint32_t>(core::Role::kPrimary);
+  return AdminSync(primary, set_role);
+}
+
+}  // namespace xssd::host

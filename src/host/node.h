@@ -1,0 +1,98 @@
+#ifndef XSSD_HOST_NODE_H_
+#define XSSD_HOST_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/villars_device.h"
+#include "host/xlog_client.h"
+#include "ntb/ntb.h"
+#include "nvme/driver.h"
+#include "pcie/fabric.h"
+
+namespace xssd::host {
+
+/// Standard bus-address layout of a simulated server.
+struct NodeLayout {
+  static constexpr uint64_t kBar0Base = 0xF000'0000ull;
+  static constexpr uint64_t kCmbBase = 0xE000'0000ull;
+  static constexpr uint64_t kNtbBase = 0x2'0000'0000ull;  // above 4 GiB
+  /// One NTB window per potential peer, 256 MiB apart (covers a DRAM-sized
+  /// CMB BAR).
+  static constexpr uint64_t kNtbWindowBytes = 0x1000'0000ull;
+};
+
+/// \brief One simulated server: a PCIe fabric with a Villars device, an
+/// NVMe driver, an NTB adapter, and a fast-path client.
+///
+/// This is the unit the examples, benchmarks, and integration tests
+/// compose. Nothing here adds behaviour — it only wires the pieces at the
+/// standard addresses.
+class StorageNode {
+ public:
+  StorageNode(sim::Simulator* sim, const core::VillarsConfig& device_config,
+              const pcie::FabricConfig& fabric_config, std::string name,
+              XLogClientOptions client_options = {});
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  /// Attach device + NTB BARs, initialize the driver, set up the client.
+  Status Init();
+
+  /// Map NTB window `slot` onto `peer`'s CMB BAR. Returns the local bus
+  /// address through which the peer's CMB is reachable.
+  Result<uint64_t> ConnectWindowTo(uint32_t slot, StorageNode& peer);
+
+  /// Map NTB window `slot` as a hardware multicast group covering every
+  /// peer's CMB BAR (§4.2). Returns the local bus address of the window.
+  Result<uint64_t> ConnectMulticastWindowTo(
+      uint32_t slot, const std::vector<StorageNode*>& peers);
+
+  pcie::PcieFabric& fabric() { return fabric_; }
+  core::VillarsDevice& device() { return device_; }
+  nvme::Driver& driver() { return driver_; }
+  ntb::NtbAdapter& ntb() { return ntb_; }
+  XLogClient& client() { return *client_; }
+  sim::Simulator& simulator() { return *sim_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::string name_;
+  pcie::PcieFabric fabric_;
+  core::VillarsDevice device_;
+  nvme::Driver driver_;
+  ntb::NtbAdapter ntb_;
+  std::unique_ptr<XLogClient> client_;
+  bool ntb_attached_ = false;
+};
+
+/// \brief Wires a primary and N secondaries into a replication group using
+/// only the public interfaces: NTB windows plus the vendor-specific NVMe
+/// admin commands of §4.2.
+class ReplicationGroup {
+ public:
+  /// `nodes[0]` becomes the primary, the rest secondaries.
+  ReplicationGroup(std::vector<StorageNode*> nodes) : nodes_(std::move(nodes)) {}
+
+  /// Establish windows, roles, protocol, and the shadow-counter update
+  /// period on every member. Blocking (pumps the simulator).
+  Status Setup(core::ReplicationProtocol protocol,
+               sim::SimTime update_period);
+
+  StorageNode& primary() { return *nodes_[0]; }
+  StorageNode& secondary(size_t i) { return *nodes_[i + 1]; }
+  size_t secondary_count() const { return nodes_.size() - 1; }
+
+ private:
+  /// Issue one admin command synchronously via the node's driver.
+  Status AdminSync(StorageNode& node, nvme::Command cmd);
+
+  std::vector<StorageNode*> nodes_;
+};
+
+}  // namespace xssd::host
+
+#endif  // XSSD_HOST_NODE_H_

@@ -1,0 +1,74 @@
+#include "host/recovery.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/page_format.h"
+#include "host/sync.h"
+
+namespace xssd::host {
+
+Result<RecoveredLog> RecoverLog(sim::Simulator& sim, nvme::Driver& driver,
+                                uint64_t ring_start_lba,
+                                uint64_t ring_lba_count) {
+  SyncRunner runner(&sim);
+  RecoveredLog out;
+
+  // Collect every valid destage page in the ring, keyed by sequence.
+  std::map<uint64_t, core::ParsedDestagePage> pages;
+  for (uint64_t slot = 0; slot < ring_lba_count; ++slot) {
+    uint64_t lba = ring_start_lba + slot;
+    Result<std::vector<uint8_t>> page =
+        runner.AwaitValue<std::vector<uint8_t>>(
+            [&](std::function<void(Status, std::vector<uint8_t>)> done) {
+              driver.Read(lba, 1, std::move(done));
+            });
+    if (!page.ok()) return page.status();
+    ++out.pages_scanned;
+    Result<core::ParsedDestagePage> parsed =
+        core::ParseDestagePage(*page);
+    if (!parsed.ok()) continue;  // unwritten slot or torn page
+    ++out.pages_valid;
+    pages.emplace(parsed->header.sequence, std::move(*parsed));
+  }
+  if (pages.empty()) {
+    out.start_offset = 0;
+    return out;
+  }
+
+  // The newest epoch wins; older-epoch leftovers are a previous lifetime.
+  uint32_t max_epoch = 0;
+  for (const auto& [seq, page] : pages) {
+    max_epoch = std::max(max_epoch, page.header.epoch);
+  }
+  out.epoch = max_epoch;
+
+  // Walk back from the highest sequence while sequences stay consecutive,
+  // epochs match, and stream offsets chain — the longest valid tail.
+  auto it = std::prev(pages.end());
+  while (it != pages.begin()) {
+    auto prev = std::prev(it);
+    bool chained = prev->second.header.epoch == max_epoch &&
+                   it->second.header.epoch == max_epoch &&
+                   prev->first + 1 == it->first &&
+                   prev->second.header.stream_offset +
+                           prev->second.header.data_len ==
+                       it->second.header.stream_offset;
+    if (!chained) break;
+    it = prev;
+  }
+  if (it->second.header.epoch != max_epoch) {
+    // Highest-sequence page stands alone in the newest epoch.
+    it = std::prev(pages.end());
+  }
+
+  out.start_offset = it->second.header.stream_offset;
+  for (; it != pages.end(); ++it) {
+    if (it->second.header.epoch != max_epoch) continue;
+    out.data.insert(out.data.end(), it->second.data.begin(),
+                    it->second.data.end());
+  }
+  return out;
+}
+
+}  // namespace xssd::host

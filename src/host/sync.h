@@ -1,0 +1,62 @@
+#ifndef XSSD_HOST_SYNC_H_
+#define XSSD_HOST_SYNC_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace xssd::host {
+
+/// \brief Blocking facade over the asynchronous device API.
+///
+/// The drop-in calls of paper §5.1 are blocking; in the discrete-event
+/// world "blocking" means driving the simulator until the completion
+/// callback fires. SyncRunner wraps that pattern. It is intended for
+/// single-logical-thread usage (examples, tools, recovery); concurrent
+/// workloads stay on the asynchronous API.
+class SyncRunner {
+ public:
+  explicit SyncRunner(sim::Simulator* sim) : sim_(sim) {}
+
+  /// Run `op`, pumping the simulator until its callback delivers a Status.
+  Status Await(
+      const std::function<void(std::function<void(Status)>)>& op) {
+    std::optional<Status> result;
+    op([&result](Status status) { result = std::move(status); });
+    bool completed =
+        sim_->RunWhile([&result]() { return result.has_value(); });
+    if (!completed) {
+      return Status::Internal("event queue drained before completion");
+    }
+    return *result;
+  }
+
+  /// Run `op` that produces a Status plus a value.
+  template <typename T>
+  Result<T> AwaitValue(
+      const std::function<void(std::function<void(Status, T)>)>& op) {
+    std::optional<Status> status;
+    std::optional<T> value;
+    op([&](Status s, T v) {
+      status = std::move(s);
+      value = std::move(v);
+    });
+    bool completed =
+        sim_->RunWhile([&status]() { return status.has_value(); });
+    if (!completed) {
+      return Status::Internal("event queue drained before completion");
+    }
+    if (!status->ok()) return *status;
+    return std::move(*value);
+  }
+
+ private:
+  sim::Simulator* sim_;
+};
+
+}  // namespace xssd::host
+
+#endif  // XSSD_HOST_SYNC_H_

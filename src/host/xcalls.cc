@@ -1,0 +1,40 @@
+#include "host/xcalls.h"
+
+#include <cstring>
+#include <vector>
+
+#include "host/sync.h"
+
+namespace xssd::host {
+
+ssize_t x_pwrite(sim::Simulator& sim, XLogClient& client, const void* buf,
+                 size_t count) {
+  SyncRunner runner(&sim);
+  Status status = runner.Await([&](std::function<void(Status)> done) {
+    client.Append(static_cast<const uint8_t*>(buf), count, std::move(done));
+  });
+  return status.ok() ? static_cast<ssize_t>(count) : -1;
+}
+
+int x_fsync(sim::Simulator& sim, XLogClient& client) {
+  SyncRunner runner(&sim);
+  Status status = runner.Await([&](std::function<void(Status)> done) {
+    client.Sync(std::move(done));
+  });
+  return status.ok() ? 0 : -1;
+}
+
+ssize_t x_pread(sim::Simulator& sim, XLogClient& client,
+                nvme::Driver& driver, void* buf, size_t count) {
+  SyncRunner runner(&sim);
+  Result<std::vector<uint8_t>> data =
+      runner.AwaitValue<std::vector<uint8_t>>(
+          [&](std::function<void(Status, std::vector<uint8_t>)> done) {
+            client.ReadTail(&driver, count, std::move(done));
+          });
+  if (!data.ok()) return -1;
+  std::memcpy(buf, data->data(), data->size());
+  return static_cast<ssize_t>(data->size());
+}
+
+}  // namespace xssd::host

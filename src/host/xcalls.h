@@ -1,0 +1,33 @@
+#ifndef XSSD_HOST_XCALLS_H_
+#define XSSD_HOST_XCALLS_H_
+
+#include <cstdint>
+#include <sys/types.h>
+
+#include "host/xlog_client.h"
+#include "nvme/driver.h"
+#include "sim/simulator.h"
+
+namespace xssd::host {
+
+/// Drop-in system-call replacements (paper §5.1). Shapes mirror POSIX:
+/// x_pwrite appends `count` bytes (no descriptor/offset — the call
+/// implicitly targets the device's fast side), x_fsync blocks until
+/// everything written has persisted per the active replication protocol,
+/// x_pread reads the growing log tail from the conventional side.
+///
+/// These are *not* system calls: no kernel crossing is modeled, matching
+/// the paper's implementation note. Blocking is realized by pumping the
+/// simulator (SyncRunner). Returns follow POSIX conventions: byte counts
+/// on success, -1 on failure.
+ssize_t x_pwrite(sim::Simulator& sim, XLogClient& client, const void* buf,
+                 size_t count);
+
+int x_fsync(sim::Simulator& sim, XLogClient& client);
+
+ssize_t x_pread(sim::Simulator& sim, XLogClient& client,
+                nvme::Driver& driver, void* buf, size_t count);
+
+}  // namespace xssd::host
+
+#endif  // XSSD_HOST_XCALLS_H_

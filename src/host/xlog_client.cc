@@ -1,0 +1,306 @@
+#include "host/xlog_client.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/logging.h"
+#include "core/page_format.h"
+
+namespace xssd::host {
+
+XLogClient::XLogClient(sim::Simulator* sim, pcie::PcieFabric* fabric,
+                       uint64_t cmb_base, XLogClientOptions options)
+    : sim_(sim),
+      fabric_(fabric),
+      cmb_base_(cmb_base),
+      options_(options),
+      store_engine_(fabric, options.mmio_mode) {}
+
+Status XLogClient::Setup() {
+  uint8_t value[8];
+  auto read_reg = [&](uint64_t reg, uint64_t* out) -> Status {
+    XSSD_RETURN_IF_ERROR(fabric_->FunctionalRead(cmb_base_ + reg, value, 8));
+    std::memcpy(out, value, 8);
+    return Status::OK();
+  };
+  XSSD_RETURN_IF_ERROR(read_reg(core::kRegQueueBytes, &queue_bytes_));
+  XSSD_RETURN_IF_ERROR(read_reg(core::kRegRingBytes, &ring_bytes_));
+  XSSD_RETURN_IF_ERROR(
+      read_reg(core::kRegDestageStartLba, &destage_start_lba_));
+  XSSD_RETURN_IF_ERROR(
+      read_reg(core::kRegDestageLbaCount, &destage_lba_count_));
+  if (queue_bytes_ == 0 || ring_bytes_ == 0) {
+    return Status::FailedPrecondition("device reported empty CMB geometry");
+  }
+  return Status::OK();
+}
+
+Status XLogClient::ResumeAtDeviceTail() {
+  uint8_t raw[8];
+  auto read_reg = [&](uint64_t reg, uint64_t* out) -> Status {
+    XSSD_RETURN_IF_ERROR(fabric_->FunctionalRead(cmb_base_ + reg, raw, 8));
+    std::memcpy(out, raw, 8);
+    return Status::OK();
+  };
+  uint64_t credit = 0, destaged = 0;
+  XSSD_RETURN_IF_ERROR(read_reg(core::kRegLocalCredit, &credit));
+  XSSD_RETURN_IF_ERROR(read_reg(core::kRegDestaged, &destaged));
+  written_ = credit;
+  credit_cache_ = credit;
+  destaged_cache_ = destaged;
+  return Status::OK();
+}
+
+void XLogClient::ReadRegister(uint64_t reg,
+                              std::function<void(uint64_t)> done) {
+  ++credit_polls_;
+  sim_->Schedule(options_.poll_cpu_overhead, [this, reg,
+                                              done = std::move(done)]() {
+    fabric_->HostRead(cmb_base_ + reg, 8,
+                      [done = std::move(done)](std::vector<uint8_t> bytes) {
+                        uint64_t value = 0;
+                        std::memcpy(&value, bytes.data(), 8);
+                        done(value);
+                      });
+  });
+}
+
+void XLogClient::StoreChunk(const uint8_t* data, size_t len,
+                            sim::Simulator::Callback posted) {
+  uint64_t ring_offset = written_ % ring_bytes_;
+  uint64_t base = cmb_base_ + core::kRingWindowOffset;
+  size_t first =
+      static_cast<size_t>(std::min<uint64_t>(len, ring_bytes_ - ring_offset));
+  if (first < len) {
+    // The chunk wraps: two store sequences, completion on the second.
+    store_engine_.Store(base + ring_offset, data, first, nullptr);
+    store_engine_.Store(base, data + first, len - first, std::move(posted));
+  } else {
+    store_engine_.Store(base + ring_offset, data, len, std::move(posted));
+  }
+  written_ += len;
+}
+
+void XLogClient::Append(const uint8_t* data, size_t len, DoneCallback done) {
+  if (len == 0) {
+    done(Status::OK());
+    return;
+  }
+  auto copy = std::make_shared<std::vector<uint8_t>>(data, data + len);
+  AppendLoop(std::move(copy), 0, std::move(done));
+}
+
+void XLogClient::AppendLoop(std::shared_ptr<std::vector<uint8_t>> data,
+                            size_t offset, DoneCallback done) {
+  size_t remaining = data->size() - offset;
+  if (remaining == 0) {
+    done(Status::OK());
+    return;
+  }
+  // Figure 8: use all credits available without intermediate checks, then
+  // pause to read the credit anew.
+  uint64_t outstanding = written_ - credit_cache_;
+  uint64_t window =
+      outstanding >= queue_bytes_ ? 0 : queue_bytes_ - outstanding;
+  // Also respect the ring: never run further than ring_bytes ahead of the
+  // destage head (only binding for small rings under destage pressure).
+  uint64_t ring_room = options_.respect_ring_capacity
+                           ? destaged_cache_ + ring_bytes_ - written_
+                           : window;
+  uint64_t avail = std::min(window, ring_room);
+
+  if (avail == 0) {
+    // Back-pressure: poll the credit counter and retry (paper §4.1). When
+    // the ring (not the staging window) is what binds, refresh the destage
+    // progress register instead.
+    bool ring_bound = ring_room < window;
+    uint64_t reg = ring_bound ? core::kRegDestaged : core::kRegCredit;
+    ReadRegister(reg, [this, ring_bound, data = std::move(data), offset,
+                       done = std::move(done)](uint64_t value) mutable {
+      if (ring_bound) {
+        destaged_cache_ = std::max(destaged_cache_, value);
+      } else {
+        credit_cache_ = std::max(credit_cache_, value);
+      }
+      AppendLoop(std::move(data), offset, std::move(done));
+    });
+    return;
+  }
+
+  size_t chunk = static_cast<size_t>(
+      std::min<uint64_t>(remaining, avail));
+  const uint8_t* src = data->data() + offset;  // before the lambda moves data
+  StoreChunk(src, chunk,
+             [this, data = std::move(data), offset = offset + chunk,
+              done = std::move(done)]() mutable {
+               AppendLoop(std::move(data), offset, std::move(done));
+             });
+}
+
+void XLogClient::Sync(DoneCallback done) {
+  SyncLoop(std::move(done));
+}
+
+void XLogClient::SyncLoop(DoneCallback done) {
+  if (credit_cache_ >= written_) {
+    done(Status::OK());
+    return;
+  }
+  ReadRegister(core::kRegCredit, [this, done = std::move(done)](
+                                     uint64_t credit) mutable {
+    credit_cache_ = std::max(credit_cache_, credit);
+    SyncLoop(std::move(done));
+  });
+}
+
+void XLogClient::AppendDurable(const uint8_t* data, size_t len,
+                               DoneCallback done) {
+  Append(data, len, [this, done = std::move(done)](Status status) mutable {
+    if (!status.ok()) {
+      done(status);
+      return;
+    }
+    Sync(std::move(done));
+  });
+}
+
+void XLogClient::ReadTail(nvme::Driver* driver, size_t len,
+                          ReadCallback done) {
+  auto acc = std::make_shared<std::vector<uint8_t>>();
+  // Consume bytes left over from the previous call's last page first.
+  if (!tail_leftover_.empty()) {
+    size_t take = std::min(len, tail_leftover_.size());
+    acc->assign(tail_leftover_.begin(), tail_leftover_.begin() + take);
+    tail_leftover_.erase(tail_leftover_.begin(),
+                         tail_leftover_.begin() + take);
+  }
+  ReadTailLoop(driver, len, std::move(acc), std::move(done));
+}
+
+void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
+                              std::shared_ptr<std::vector<uint8_t>> acc,
+                              ReadCallback done) {
+  if (acc->size() >= len) {
+    // Stash any surplus from the last parsed page for the next call.
+    tail_leftover_.insert(tail_leftover_.end(), acc->begin() + len,
+                          acc->end());
+    acc->resize(len);
+    done(Status::OK(), std::move(*acc));
+    return;
+  }
+  // Is the next destage page complete? The destaged counter advances in
+  // stream order, so any progress past our cursor means page read_seq_ is
+  // fully on the conventional side.
+  ReadRegister(core::kRegDestaged, [this, driver, len, acc = std::move(acc),
+                                    done = std::move(done)](
+                                       uint64_t destaged) mutable {
+    destaged_cache_ = std::max(destaged_cache_, destaged);
+    if (destaged_cache_ <= read_cursor_) {
+      // Nothing new yet — block (poll with a small backoff).
+      sim_->Schedule(sim::Us(5), [this, driver, len, acc = std::move(acc),
+                                  done = std::move(done)]() mutable {
+        ReadTailLoop(driver, len, std::move(acc), std::move(done));
+      });
+      return;
+    }
+    uint64_t lba =
+        destage_start_lba_ + (read_seq_ % destage_lba_count_);
+    driver->Read(lba, 1, [this, driver, len, acc = std::move(acc),
+                          done = std::move(done)](
+                             Status status,
+                             std::vector<uint8_t> page) mutable {
+      if (!status.ok()) {
+        done(status, {});
+        return;
+      }
+      Result<core::ParsedDestagePage> parsed =
+          core::ParseDestagePage(page);
+      if (!parsed.ok() || parsed->header.sequence != read_seq_) {
+        // Page not (re)written yet at this slot; retry shortly.
+        sim_->Schedule(sim::Us(5), [this, driver, len, acc = std::move(acc),
+                                    done = std::move(done)]() mutable {
+          ReadTailLoop(driver, len, std::move(acc), std::move(done));
+        });
+        return;
+      }
+      const auto& header = parsed->header;
+      uint64_t data_begin = header.stream_offset;
+      uint64_t data_end = header.stream_offset + header.data_len;
+      if (read_cursor_ >= data_begin && read_cursor_ < data_end) {
+        size_t skip = static_cast<size_t>(read_cursor_ - data_begin);
+        acc->insert(acc->end(), parsed->data.begin() + skip,
+                    parsed->data.end());
+        read_cursor_ = data_end;
+      } else if (read_cursor_ >= data_end) {
+        // Fully consumed already (shouldn't normally happen).
+      }
+      ++read_seq_;
+      ReadTailLoop(driver, len, std::move(acc), std::move(done));
+    });
+  });
+}
+
+Result<uint64_t> XLogClient::XAlloc(size_t len) {
+  if (len == 0) return Status::InvalidArgument("empty allocation");
+  if (len > queue_bytes_) {
+    return Status::InvalidArgument(
+        "allocation exceeds the staging window; split it");
+  }
+  uint64_t offset = written_;
+  written_ += len;
+  allocations_.emplace(offset, Allocation{len, false});
+  PushBarrier();
+  return offset;
+}
+
+void XLogClient::WriteAt(uint64_t stream_offset, const uint8_t* data,
+                         size_t len, DoneCallback done) {
+  auto it = allocations_.upper_bound(stream_offset);
+  if (it == allocations_.begin()) {
+    done(Status::InvalidArgument("write outside any allocation"));
+    return;
+  }
+  --it;
+  if (stream_offset + len > it->first + it->second.len || it->second.freed) {
+    done(Status::InvalidArgument("write outside an active allocation"));
+    return;
+  }
+  uint64_t ring_offset = stream_offset % ring_bytes_;
+  uint64_t base = cmb_base_ + core::kRingWindowOffset;
+  size_t first =
+      static_cast<size_t>(std::min<uint64_t>(len, ring_bytes_ - ring_offset));
+  auto posted = [done = std::move(done)]() { done(Status::OK()); };
+  if (first < len) {
+    store_engine_.Store(base + ring_offset, data, first, nullptr);
+    store_engine_.Store(base, data + first, len - first, std::move(posted));
+  } else {
+    store_engine_.Store(base + ring_offset, data, len, std::move(posted));
+  }
+}
+
+Status XLogClient::XFree(uint64_t stream_offset) {
+  auto it = allocations_.find(stream_offset);
+  if (it == allocations_.end()) {
+    return Status::NotFound("no allocation at that offset");
+  }
+  if (it->second.freed) {
+    return Status::FailedPrecondition("allocation already freed");
+  }
+  it->second.freed = true;
+  // Drop fully-freed prefix entries.
+  while (!allocations_.empty() && allocations_.begin()->second.freed) {
+    allocations_.erase(allocations_.begin());
+  }
+  PushBarrier();
+  return Status::OK();
+}
+
+void XLogClient::PushBarrier() {
+  uint64_t barrier = ~0ull;
+  if (!allocations_.empty()) barrier = allocations_.begin()->first;
+  uint8_t payload[8];
+  std::memcpy(payload, &barrier, 8);
+  fabric_->HostWrite(cmb_base_ + core::kRegDestageBarrier, payload, 8, 8);
+}
+
+}  // namespace xssd::host

@@ -1,0 +1,104 @@
+#include "ntb/ntb.h"
+
+#include "common/logging.h"
+#include "pcie/tlp.h"
+
+namespace xssd::ntb {
+
+NtbAdapter::NtbAdapter(sim::Simulator* sim, pcie::PcieFabric* local,
+                       NtbConfig config, std::string name)
+    : sim_(sim),
+      local_(local),
+      config_(config),
+      name_(std::move(name)),
+      link_(sim, config.bytes_per_sec) {}
+
+Status NtbAdapter::CheckOverlap(uint64_t offset, uint64_t size) const {
+  for (const Window& w : windows_) {
+    bool disjoint = offset + size <= w.offset || w.offset + w.size <= offset;
+    if (!disjoint) return Status::InvalidArgument("NTB windows overlap");
+  }
+  return Status::OK();
+}
+
+Status NtbAdapter::AddWindow(uint64_t offset, uint64_t size,
+                             pcie::PcieFabric* remote_fabric,
+                             uint64_t remote_base) {
+  if (remote_fabric == nullptr || size == 0) {
+    return Status::InvalidArgument("bad NTB window");
+  }
+  XSSD_RETURN_IF_ERROR(CheckOverlap(offset, size));
+  windows_.push_back(
+      Window{offset, size, {MulticastTarget{remote_fabric, remote_base}}});
+  return Status::OK();
+}
+
+Status NtbAdapter::AddMulticastWindow(uint64_t offset, uint64_t size,
+                                      std::vector<MulticastTarget> members) {
+  if (members.empty() || size == 0) {
+    return Status::InvalidArgument("empty multicast group");
+  }
+  for (const MulticastTarget& member : members) {
+    if (member.remote == nullptr) {
+      return Status::InvalidArgument("null multicast member");
+    }
+  }
+  XSSD_RETURN_IF_ERROR(CheckOverlap(offset, size));
+  windows_.push_back(Window{offset, size, std::move(members)});
+  return Status::OK();
+}
+
+const NtbAdapter::Window* NtbAdapter::FindWindow(uint64_t offset) const {
+  for (const Window& w : windows_) {
+    if (offset >= w.offset && offset < w.offset + w.size) return &w;
+  }
+  return nullptr;
+}
+
+void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
+                             size_t len) {
+  const Window* window = FindWindow(offset);
+  if (window == nullptr || offset + len > window->offset + window->size) {
+    XSSD_LOG(kWarning) << name_ << ": write outside any NTB window";
+    return;
+  }
+  uint64_t window_offset = offset - window->offset;
+
+  // One cable transfer regardless of fan-out: the adapter replicates in
+  // hardware on the far side of the link.
+  uint64_t wire = pcie::WireBytesFor(len, config_.forward_chunk);
+  forwarded_wire_bytes_ += wire;
+  forwarded_payload_bytes_ += len;
+  forwarded_packets_ += pcie::TlpCountFor(len, config_.forward_chunk);
+
+  std::vector<uint8_t> copy(data, data + len);
+  sim::SimTime cable_done = link_.Acquire(wire);
+  sim_->ScheduleAt(
+      cable_done + config_.hop_latency,
+      [members = window->members, window_offset, copy = std::move(copy),
+       chunk = config_.forward_chunk]() {
+        for (const MulticastTarget& member : members) {
+          // Address translation is the only transformation NTB performs
+          // (§2.3); inject into each member fabric as peer-to-peer traffic.
+          member.remote->PeerWrite(member.remote_base + window_offset,
+                                   copy.data(), copy.size(), chunk);
+        }
+      });
+}
+
+void NtbAdapter::OnMmioRead(uint64_t offset, uint8_t* out, size_t len) {
+  // Cross-NTB reads exist but are slow and unused by the Villars protocol
+  // (all coordination is done with posted writes). Serve them functionally
+  // from the first member for completeness.
+  const Window* window = FindWindow(offset);
+  if (window == nullptr || offset + len > window->offset + window->size) {
+    std::fill(out, out + len, 0);
+    return;
+  }
+  const MulticastTarget& member = window->members.front();
+  uint64_t remote_addr = member.remote_base + (offset - window->offset);
+  Status status = member.remote->FunctionalRead(remote_addr, out, len);
+  if (!status.ok()) std::fill(out, out + len, 0);
+}
+
+}  // namespace xssd::ntb

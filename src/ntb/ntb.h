@@ -1,0 +1,102 @@
+#ifndef XSSD_NTB_NTB_H_
+#define XSSD_NTB_NTB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pcie/fabric.h"
+#include "sim/bandwidth_server.h"
+
+namespace xssd::ntb {
+
+/// \brief NTB adapter/link parameters.
+///
+/// Defaults approximate the Dolphin PXH830 daisy-chain of the paper's
+/// testbed. NTB carries raw TLPs — no protocol conversion (paper §2.3) —
+/// so the per-packet overhead is the PCIe TLP overhead, and the hop latency
+/// is the adapter's cut-through forwarding time.
+struct NtbConfig {
+  double bytes_per_sec = 2e9;             ///< cross-link bandwidth
+  sim::SimTime hop_latency = sim::Ns(1300);  ///< adapter cut-through latency
+  uint32_t forward_chunk = 64;           ///< TLP payload granularity
+};
+
+/// \brief A Non-Transparent Bridge adapter: an MMIO window on the local
+/// fabric whose writes are forwarded — address-translated — into a remote
+/// fabric.
+///
+/// One NtbAdapter models the local card plus the cable to its peer. Windows
+/// are the NTB translation entries: [window_base, +size) on this adapter
+/// maps to `remote_base` on the peer fabric. A window may target another
+/// adapter's window, which is how the daisy-chained three-server topology
+/// of the paper composes.
+class NtbAdapter : public pcie::MmioDevice {
+ public:
+  NtbAdapter(sim::Simulator* sim, pcie::PcieFabric* local, NtbConfig config,
+             std::string name);
+
+  /// Map [offset, offset+size) of this adapter's BAR onto
+  /// remote_fabric[remote_base ...]. Windows must not overlap.
+  Status AddWindow(uint64_t offset, uint64_t size,
+                   pcie::PcieFabric* remote_fabric, uint64_t remote_base);
+
+  /// One member of a multicast group.
+  struct MulticastTarget {
+    pcie::PcieFabric* remote;
+    uint64_t remote_base;
+  };
+
+  /// Map [offset, offset+size) as a *multicast* window: each write is
+  /// carried once on the local cable and fanned out to every member — the
+  /// hardware multicast the paper notes NTB adapters support (§4.2) but
+  /// its prototype leaves unused. The bandwidth saving on the primary is
+  /// exactly (members - 1)x.
+  Status AddMulticastWindow(uint64_t offset, uint64_t size,
+                            std::vector<MulticastTarget> members);
+
+  // pcie::MmioDevice — traffic landing on the local window.
+  void OnMmioWrite(uint64_t offset, const uint8_t* data, size_t len) override;
+  void OnMmioRead(uint64_t offset, uint8_t* out, size_t len) override;
+
+  /// Bytes forwarded across the cable so far (wire bytes incl. overhead) —
+  /// the denominator data for Figure 13's bandwidth-share series.
+  uint64_t forwarded_wire_bytes() const { return forwarded_wire_bytes_; }
+  uint64_t forwarded_payload_bytes() const { return forwarded_payload_bytes_; }
+  uint64_t forwarded_packets() const { return forwarded_packets_; }
+  void ResetStats() {
+    forwarded_wire_bytes_ = 0;
+    forwarded_payload_bytes_ = 0;
+    forwarded_packets_ = 0;
+  }
+
+  const NtbConfig& config() const { return config_; }
+  sim::BandwidthServer& link() { return link_; }
+
+ private:
+  struct Window {
+    uint64_t offset;
+    uint64_t size;
+    // A unicast window has one member; a multicast window has several.
+    std::vector<MulticastTarget> members;
+  };
+
+  const Window* FindWindow(uint64_t offset) const;
+  Status CheckOverlap(uint64_t offset, uint64_t size) const;
+
+  sim::Simulator* sim_;
+  pcie::PcieFabric* local_;
+  NtbConfig config_;
+  std::string name_;
+  sim::BandwidthServer link_;
+  std::vector<Window> windows_;
+
+  uint64_t forwarded_wire_bytes_ = 0;
+  uint64_t forwarded_payload_bytes_ = 0;
+  uint64_t forwarded_packets_ = 0;
+};
+
+}  // namespace xssd::ntb
+
+#endif  // XSSD_NTB_NTB_H_

@@ -1,0 +1,168 @@
+#include "pcie/fabric.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace xssd::pcie {
+
+double LaneBytesPerSec(int generation) {
+  // Effective per-lane data rates after encoding overhead.
+  switch (generation) {
+    case 1:
+      return 250e6;  // 2.5 GT/s, 8b/10b
+    case 2:
+      return 500e6;  // 5.0 GT/s, 8b/10b
+    case 3:
+      return 985e6;  // 8.0 GT/s, 128b/130b
+    case 4:
+      return 1969e6;
+    default:
+      return 500e6;
+  }
+}
+
+PcieFabric::PcieFabric(sim::Simulator* sim, FabricConfig config,
+                       std::string name)
+    : sim_(sim),
+      config_(config),
+      name_(std::move(name)),
+      link_bytes_per_sec_(LaneBytesPerSec(config.generation) * config.lanes),
+      downstream_(sim, link_bytes_per_sec_),
+      upstream_(sim, link_bytes_per_sec_),
+      peer_(sim, link_bytes_per_sec_),
+      host_memory_port_(sim, config.host_memory_bytes_per_sec),
+      host_memory_(config.host_memory_bytes, 0) {}
+
+Status PcieFabric::AddMmioRegion(uint64_t base, uint64_t size,
+                                 MmioDevice* device,
+                                 std::string region_name) {
+  if (device == nullptr || size == 0) {
+    return Status::InvalidArgument("null device or empty region");
+  }
+  for (const Region& r : regions_) {
+    bool disjoint = base + size <= r.base || r.base + r.size <= base;
+    if (!disjoint) {
+      return Status::InvalidArgument("MMIO region overlaps " + r.name);
+    }
+  }
+  regions_.push_back(Region{base, size, device, std::move(region_name)});
+  return Status::OK();
+}
+
+const PcieFabric::Region* PcieFabric::FindRegion(uint64_t addr) const {
+  for (const Region& r : regions_) {
+    if (addr >= r.base && addr < r.base + r.size) return &r;
+  }
+  return nullptr;
+}
+
+void PcieFabric::RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
+                             const uint8_t* data, size_t len, uint32_t chunk,
+                             sim::Simulator::Callback posted) {
+  const Region* region = FindRegion(addr);
+  XSSD_CHECK(region != nullptr);
+  XSSD_CHECK(addr + len <= region->base + region->size);
+  XSSD_CHECK(chunk > 0);
+
+  // One Acquire covers all TLPs of this write back-to-back on the link.
+  uint64_t wire_bytes = WireBytesFor(len, chunk);
+  std::vector<uint8_t> copy(data, data + len);
+  uint64_t offset = addr - region->base;
+  MmioDevice* device = region->device;
+  sim::SimTime done_at = server.Acquire(wire_bytes);
+  sim_->ScheduleAt(done_at + config_.propagation,
+                   [device, offset, copy = std::move(copy)]() {
+                     device->OnMmioWrite(offset, copy.data(), copy.size());
+                   });
+  if (posted) sim_->ScheduleAt(done_at, std::move(posted));
+}
+
+void PcieFabric::HostWrite(uint64_t addr, const uint8_t* data, size_t len,
+                           uint32_t chunk, sim::Simulator::Callback posted) {
+  RoutedWrite(downstream_, addr, data, len, chunk, std::move(posted));
+}
+
+void PcieFabric::PeerWrite(uint64_t addr, const uint8_t* data, size_t len,
+                           uint32_t chunk, sim::Simulator::Callback posted) {
+  RoutedWrite(peer_, addr, data, len, chunk, std::move(posted));
+}
+
+void PcieFabric::HostRead(uint64_t addr, size_t len,
+                          std::function<void(std::vector<uint8_t>)> done) {
+  const Region* region = FindRegion(addr);
+  XSSD_CHECK(region != nullptr);
+  XSSD_CHECK(addr + len <= region->base + region->size);
+
+  // Request TLP downstream.
+  sim::SimTime req_done = downstream_.Acquire(kTlpOverheadBytes);
+  uint64_t offset = addr - region->base;
+  MmioDevice* device = region->device;
+  sim::SimTime service_at =
+      req_done + config_.propagation + config_.read_turnaround;
+  sim_->ScheduleAt(service_at, [this, device, offset, len,
+                                done = std::move(done)]() mutable {
+    // Device serves the read *now* (functional state as of this instant),
+    // then the completion travels upstream.
+    std::vector<uint8_t> data(len, 0);
+    device->OnMmioRead(offset, data.data(), len);
+    sim::SimTime cpl_done = upstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
+    sim_->ScheduleAt(cpl_done + config_.propagation,
+                     [data = std::move(data), done = std::move(done)]() mutable {
+                       done(std::move(data));
+                     });
+  });
+}
+
+void PcieFabric::DmaToHost(uint64_t host_addr, const uint8_t* data, size_t len,
+                           sim::Simulator::Callback done) {
+  XSSD_CHECK(host_addr + len <= host_memory_.size());
+  std::vector<uint8_t> copy(data, data + len);
+  sim::SimTime link_done =
+      upstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
+  sim_->ScheduleAt(link_done, [this, host_addr, copy = std::move(copy),
+                               done = std::move(done)]() mutable {
+    std::memcpy(host_memory_.data() + host_addr, copy.data(), copy.size());
+    host_memory_port_.Acquire(copy.size(), std::move(done));
+  });
+}
+
+void PcieFabric::DmaFromHost(uint64_t host_addr, size_t len,
+                             std::function<void(std::vector<uint8_t>)> done) {
+  XSSD_CHECK(host_addr + len <= host_memory_.size());
+  // Read request downstream is negligible; charge memory port + upstream
+  // completion stream.
+  sim::SimTime mem_done = host_memory_port_.Acquire(len);
+  sim_->ScheduleAt(mem_done, [this, host_addr, len,
+                              done = std::move(done)]() mutable {
+    std::vector<uint8_t> data(host_memory_.begin() + host_addr,
+                              host_memory_.begin() + host_addr + len);
+    sim::SimTime link_done =
+        downstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
+    sim_->ScheduleAt(link_done + config_.propagation,
+                     [data = std::move(data), done = std::move(done)]() mutable {
+                       done(std::move(data));
+                     });
+  });
+}
+
+Status PcieFabric::FunctionalWrite(uint64_t addr, const uint8_t* data,
+                                   size_t len) {
+  const Region* region = FindRegion(addr);
+  if (region == nullptr || addr + len > region->base + region->size) {
+    return Status::OutOfRange("no MMIO region covers address");
+  }
+  region->device->OnMmioWrite(addr - region->base, data, len);
+  return Status::OK();
+}
+
+Status PcieFabric::FunctionalRead(uint64_t addr, uint8_t* out, size_t len) {
+  const Region* region = FindRegion(addr);
+  if (region == nullptr || addr + len > region->base + region->size) {
+    return Status::OutOfRange("no MMIO region covers address");
+  }
+  region->device->OnMmioRead(addr - region->base, out, len);
+  return Status::OK();
+}
+
+}  // namespace xssd::pcie

@@ -1,0 +1,85 @@
+#include "pcie/tlp.h"
+
+#include <cstring>
+
+namespace xssd::pcie {
+
+uint64_t TlpCountFor(uint64_t len, uint32_t chunk) {
+  if (len == 0) return 0;
+  return (len + chunk - 1) / chunk;
+}
+
+uint64_t WireBytesFor(uint64_t len, uint32_t chunk) {
+  return len + TlpCountFor(len, chunk) * kTlpOverheadBytes;
+}
+
+namespace {
+// Wire image layout (little endian):
+//   [0]    type
+//   [1..8] address
+//   [9..12] read_len
+//   [13..14] tag
+//   [15..18] payload length
+//   [19..] payload
+constexpr size_t kHeaderSize = 19;
+
+void PutU64(std::vector<uint8_t>& out, size_t at, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[at + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void PutU32(std::vector<uint8_t>& out, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[at + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void PutU16(std::vector<uint8_t>& out, size_t at, uint16_t v) {
+  out[at] = static_cast<uint8_t>(v);
+  out[at + 1] = static_cast<uint8_t>(v >> 8);
+}
+uint64_t GetU64(const std::vector<uint8_t>& in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[at + i];
+  return v;
+}
+uint32_t GetU32(const std::vector<uint8_t>& in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[at + i];
+  return v;
+}
+uint16_t GetU16(const std::vector<uint8_t>& in, size_t at) {
+  return static_cast<uint16_t>(in[at] | (in[at + 1] << 8));
+}
+}  // namespace
+
+std::vector<uint8_t> EncodeTlp(const Tlp& tlp) {
+  std::vector<uint8_t> out(kHeaderSize + tlp.payload.size());
+  out[0] = static_cast<uint8_t>(tlp.type);
+  PutU64(out, 1, tlp.address);
+  PutU32(out, 9, tlp.read_len);
+  PutU16(out, 13, tlp.tag);
+  PutU32(out, 15, static_cast<uint32_t>(tlp.payload.size()));
+  if (!tlp.payload.empty()) {
+    std::memcpy(out.data() + kHeaderSize, tlp.payload.data(),
+                tlp.payload.size());
+  }
+  return out;
+}
+
+Result<Tlp> DecodeTlp(const std::vector<uint8_t>& wire) {
+  if (wire.size() < kHeaderSize) {
+    return Status::Corruption("TLP image shorter than header");
+  }
+  if (wire[0] > static_cast<uint8_t>(TlpType::kCompletionData)) {
+    return Status::Corruption("unknown TLP type");
+  }
+  Tlp tlp;
+  tlp.type = static_cast<TlpType>(wire[0]);
+  tlp.address = GetU64(wire, 1);
+  tlp.read_len = GetU32(wire, 9);
+  tlp.tag = GetU16(wire, 13);
+  uint32_t payload_len = GetU32(wire, 15);
+  if (wire.size() != kHeaderSize + payload_len) {
+    return Status::Corruption("TLP payload length mismatch");
+  }
+  tlp.payload.assign(wire.begin() + kHeaderSize, wire.end());
+  return tlp;
+}
+
+}  // namespace xssd::pcie

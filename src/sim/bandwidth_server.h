@@ -1,0 +1,82 @@
+#ifndef XSSD_SIM_BANDWIDTH_SERVER_H_
+#define XSSD_SIM_BANDWIDTH_SERVER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace xssd::sim {
+
+/// \brief FIFO bandwidth resource: a link, bus, or memory port that serves
+/// one transfer at a time at a fixed byte rate plus per-request overhead.
+///
+/// Requests occupy the server back-to-back: a request submitted while the
+/// server is busy starts when the previous one finishes. This models shared
+/// media (PCIe link, DDR bus, flash channel) without per-byte events.
+class BandwidthServer {
+ public:
+  /// \param sim            owning simulator (not owned; must outlive this)
+  /// \param bytes_per_sec  sustained data rate of the medium
+  /// \param per_request_overhead  fixed time charged per request (e.g. TLP
+  ///        header serialization, DDR row activation); may be 0.
+  BandwidthServer(Simulator* sim, double bytes_per_sec,
+                  SimTime per_request_overhead = 0)
+      : sim_(sim),
+        bytes_per_sec_(bytes_per_sec),
+        per_request_overhead_(per_request_overhead) {}
+
+  BandwidthServer(const BandwidthServer&) = delete;
+  BandwidthServer& operator=(const BandwidthServer&) = delete;
+
+  /// Reserve the medium for `bytes` and return the absolute completion time.
+  /// Also schedules `done` at that time if non-null.
+  SimTime Acquire(uint64_t bytes, Simulator::Callback done = nullptr) {
+    SimTime start = std::max(sim_->Now(), busy_until_);
+    SimTime duration =
+        per_request_overhead_ + TransferTime(bytes, bytes_per_sec_);
+    busy_until_ = start + duration;
+    total_bytes_ += bytes;
+    total_requests_ += 1;
+    busy_time_ += duration;
+    if (done) sim_->ScheduleAt(busy_until_, std::move(done));
+    return busy_until_;
+  }
+
+  /// Completion time if `bytes` were submitted now, without reserving.
+  SimTime Probe(uint64_t bytes) const {
+    SimTime start = std::max(sim_->Now(), busy_until_);
+    return start + per_request_overhead_ + TransferTime(bytes, bytes_per_sec_);
+  }
+
+  bool IdleNow() const { return busy_until_ <= sim_->Now(); }
+  SimTime busy_until() const { return busy_until_; }
+  double bytes_per_sec() const { return bytes_per_sec_; }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_requests() const { return total_requests_; }
+  /// Cumulative occupied time; utilization = busy_time / elapsed.
+  SimTime busy_time() const { return busy_time_; }
+
+  void ResetStats() {
+    total_bytes_ = 0;
+    total_requests_ = 0;
+    busy_time_ = 0;
+  }
+
+ private:
+  Simulator* sim_;
+  double bytes_per_sec_;
+  SimTime per_request_overhead_;
+  SimTime busy_until_ = 0;
+
+  uint64_t total_bytes_ = 0;
+  uint64_t total_requests_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+}  // namespace xssd::sim
+
+#endif  // XSSD_SIM_BANDWIDTH_SERVER_H_

@@ -1,0 +1,76 @@
+#ifndef XSSD_SIM_RANDOM_H_
+#define XSSD_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace xssd::sim {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**), seeded explicitly.
+///
+/// All stochastic behaviour in the simulator (workload mixes, bit-error
+/// injection, crash points) draws from an Rng so experiments are exactly
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  /// NURand-style non-uniform integer per the TPC-C specification.
+  uint64_t NuRand(uint64_t a, uint64_t x, uint64_t y, uint64_t c) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace xssd::sim
+
+#endif  // XSSD_SIM_RANDOM_H_

@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace xssd::sim {
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  XSSD_CHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Step() {
+  // The event is moved out before running so a callback can safely schedule
+  // new events (which may reallocate the underlying heap).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Step();
+  }
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  uint64_t ran = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().when <= deadline) {
+    Step();
+    ++ran;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+bool Simulator::RunWhile(const std::function<bool()>& done) {
+  stopped_ = false;
+  while (!done()) {
+    if (queue_.empty() || stopped_) return false;
+    Step();
+  }
+  return true;
+}
+
+}  // namespace xssd::sim

@@ -1,0 +1,86 @@
+#ifndef XSSD_SIM_SIMULATOR_H_
+#define XSSD_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace xssd::sim {
+
+/// \brief Discrete-event simulation core: a virtual clock plus an ordered
+/// event queue.
+///
+/// Every hardware component in the library (PCIe links, flash dies, PM
+/// controllers, NTB hops) is modeled as callbacks scheduled on one Simulator.
+/// Events at equal timestamps run in scheduling (FIFO) order, which makes
+/// runs fully deterministic. The simulator is single-threaded by design;
+/// "concurrency" (DB workers, channels, devices) is expressed as interleaved
+/// events on the virtual clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` nanoseconds from now.
+  void Schedule(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at an absolute virtual time (>= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Run until the event queue drains (or Stop() is called).
+  void Run();
+
+  /// Run events with timestamp <= `deadline`; afterwards Now() == deadline
+  /// (unless stopped earlier). Returns the number of events executed.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// Convenience: RunUntil(Now() + duration).
+  uint64_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  /// Drain events until `done` returns true (checked after each event) or
+  /// the queue empties. Returns true if the predicate was satisfied.
+  bool RunWhile(const std::function<bool()>& done);
+
+  /// Abort Run/RunUntil after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs a single event. Precondition: queue not empty.
+  void Step();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace xssd::sim
+
+#endif  // XSSD_SIM_SIMULATOR_H_

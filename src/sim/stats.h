@@ -1,0 +1,94 @@
+#ifndef XSSD_SIM_STATS_H_
+#define XSSD_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace xssd::sim {
+
+/// \brief Sample recorder for latency-style measurements.
+///
+/// Stores raw samples (nanoseconds or any unit) and answers min/max/mean and
+/// arbitrary percentiles. Used by every benchmark harness; the candlestick
+/// summaries of Figure 13 come straight out of Percentile().
+class LatencyRecorder {
+ public:
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const { return empty() ? 0 : *std::min_element(samples_.begin(), samples_.end()); }
+  double Max() const { return empty() ? 0 : *std::max_element(samples_.begin(), samples_.end()); }
+
+  double Mean() const {
+    if (empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  double Percentile(double p) const {
+    if (empty()) return 0;
+    EnsureSorted();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  /// Candlestick summary (min, p25, p50, p75, max) — Figure 13 rendering.
+  struct Candle {
+    double min, p25, p50, p75, max;
+  };
+  Candle Candlestick() const {
+    return Candle{Min(), Percentile(25), Percentile(50), Percentile(75),
+                  Max()};
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// \brief Event counter with rate helper.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+  /// Events (or bytes) per second over a virtual-time interval.
+  double RatePerSec(SimTime interval) const {
+    if (interval == 0) return 0;
+    return static_cast<double>(value_) / ToSec(interval);
+  }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace xssd::sim
+
+#endif  // XSSD_SIM_STATS_H_

@@ -1,0 +1,44 @@
+#ifndef XSSD_SIM_TIME_H_
+#define XSSD_SIM_TIME_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace xssd::sim {
+
+/// Virtual simulation time, in nanoseconds. All device/link/flash latencies
+/// are charged in this unit. 64 bits of nanoseconds cover ~584 years of
+/// simulated time, far beyond any experiment here.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr SimTime Ns(uint64_t n) { return n; }
+constexpr SimTime Us(uint64_t n) { return n * kMicrosecond; }
+constexpr SimTime Ms(uint64_t n) { return n * kMillisecond; }
+constexpr SimTime Sec(uint64_t n) { return n * kSecond; }
+
+/// Fractional-microsecond helper (e.g. UsF(0.4) for a 400 ns period).
+inline SimTime UsF(double us) {
+  return static_cast<SimTime>(std::llround(us * 1000.0));
+}
+
+inline double ToUs(SimTime t) { return static_cast<double>(t) / 1000.0; }
+inline double ToMs(SimTime t) { return static_cast<double>(t) / 1e6; }
+inline double ToSec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Time to move `bytes` at `bytes_per_sec`, rounded up to >= 1 ns for any
+/// non-zero transfer so events always make progress.
+inline SimTime TransferTime(uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0) return 0;
+  double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+  auto t = static_cast<SimTime>(std::llround(ns));
+  return t == 0 ? 1 : t;
+}
+
+}  // namespace xssd::sim
+
+#endif  // XSSD_SIM_TIME_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace xssd {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status status = Status::NotFound("missing row");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing row");
+  EXPECT_EQ(status.ToString(), "NotFound: missing row");
+}
+
+TEST(Status, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_FALSE(Status::IoError("x").IsNotFound());
+}
+
+TEST(Status, EqualityIsByCode) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::Aborted("inner");
+  return Status::OK();
+}
+Status Outer(bool fail) {
+  XSSD_RETURN_IF_ERROR(Inner(fail));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  EXPECT_EQ(Outer(true).code(), StatusCode::kAborted);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string("hello"));
+  std::string s = std::move(result).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Crc32c, KnownVectors) {
+  // CRC-32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // Empty input.
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32c, SeedChaining) {
+  const char data[] = "hello world";
+  uint32_t whole = Crc32c(data, 11);
+  uint32_t part = Crc32c(data, 5);
+  uint32_t chained = Crc32c(data + 5, 6, part);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32c, DetectsBitFlip) {
+  std::vector<uint8_t> data(100, 0xAA);
+  uint32_t clean = Crc32c(data.data(), data.size());
+  data[50] ^= 0x01;
+  EXPECT_NE(clean, Crc32c(data.data(), data.size()));
+}
+
+TEST(Units, Helpers) {
+  EXPECT_EQ(KiB(2), 2048u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(1), 1073741824u);
+}
+
+}  // namespace
+}  // namespace xssd

@@ -1,0 +1,82 @@
+#include "flash/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace xssd::flash {
+namespace {
+
+TEST(Geometry, DefaultCounts) {
+  Geometry g;
+  EXPECT_EQ(g.dies(), 64u);
+  EXPECT_EQ(g.blocks(), 64u * 64);
+  EXPECT_EQ(g.pages(), g.blocks() * 256);
+  EXPECT_EQ(g.capacity_bytes(), g.pages() * 16384);
+}
+
+TEST(Geometry, PageIndexRoundTripCorners) {
+  Geometry g;
+  Address first{};
+  EXPECT_EQ(PageIndex(g, first), 0u);
+  Address last{g.channels - 1, g.dies_per_channel - 1, g.planes_per_die - 1,
+               g.blocks_per_plane - 1, g.pages_per_block - 1};
+  EXPECT_EQ(PageIndex(g, last), g.pages() - 1);
+  EXPECT_EQ(AddressOfPage(g, g.pages() - 1), last);
+}
+
+TEST(Geometry, BlockIndexRoundTripCorners) {
+  Geometry g;
+  Address last{g.channels - 1, g.dies_per_channel - 1, g.planes_per_die - 1,
+               g.blocks_per_plane - 1, 0};
+  EXPECT_EQ(BlockIndex(g, last), g.blocks() - 1);
+  EXPECT_EQ(AddressOfBlock(g, g.blocks() - 1), last);
+}
+
+TEST(Geometry, ContainsChecksEveryDimension) {
+  Geometry g;
+  EXPECT_TRUE(Contains(g, Address{0, 0, 0, 0, 0}));
+  EXPECT_FALSE(Contains(g, Address{g.channels, 0, 0, 0, 0}));
+  EXPECT_FALSE(Contains(g, Address{0, g.dies_per_channel, 0, 0, 0}));
+  EXPECT_FALSE(Contains(g, Address{0, 0, g.planes_per_die, 0, 0}));
+  EXPECT_FALSE(Contains(g, Address{0, 0, 0, g.blocks_per_plane, 0}));
+  EXPECT_FALSE(Contains(g, Address{0, 0, 0, 0, g.pages_per_block}));
+}
+
+TEST(Geometry, ToStringIsReadable) {
+  Address a{1, 2, 0, 3, 4};
+  EXPECT_EQ(a.ToString(), "ch1/die2/pl0/blk3/pg4");
+}
+
+// Property: PageIndex and AddressOfPage are inverse bijections for random
+// addresses under random geometries.
+class GeometryRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeometryRoundTrip, RandomAddressesRoundTrip) {
+  sim::Rng rng(GetParam());
+  Geometry g;
+  g.channels = 1 + static_cast<uint32_t>(rng.Uniform(8));
+  g.dies_per_channel = 1 + static_cast<uint32_t>(rng.Uniform(8));
+  g.planes_per_die = 1 + static_cast<uint32_t>(rng.Uniform(4));
+  g.blocks_per_plane = 1 + static_cast<uint32_t>(rng.Uniform(64));
+  g.pages_per_block = 1 + static_cast<uint32_t>(rng.Uniform(256));
+  for (int i = 0; i < 200; ++i) {
+    uint64_t page = rng.Uniform(g.pages());
+    Address a = AddressOfPage(g, page);
+    EXPECT_TRUE(Contains(g, a));
+    EXPECT_EQ(PageIndex(g, a), page);
+  }
+  for (int i = 0; i < 200; ++i) {
+    uint64_t block = rng.Uniform(g.blocks());
+    Address a = AddressOfBlock(g, block);
+    EXPECT_EQ(BlockIndex(g, a), block);
+    // Page index of the block's first page == block * pages_per_block.
+    EXPECT_EQ(PageIndex(g, a), block * g.pages_per_block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryRoundTrip,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace xssd::flash

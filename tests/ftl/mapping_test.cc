@@ -1,0 +1,160 @@
+#include "ftl/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace xssd::ftl {
+namespace {
+
+flash::Geometry SmallGeometry() {
+  flash::Geometry g;
+  g.channels = 2;
+  g.dies_per_channel = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 8;
+  g.page_bytes = 4096;
+  return g;
+}
+
+TEST(PageMap, InitiallyUnmapped) {
+  PageMap map(SmallGeometry(), 64);
+  EXPECT_EQ(map.lpn_count(), 64u);
+  EXPECT_EQ(map.Lookup(0), kUnmapped);
+  EXPECT_EQ(map.mapped_pages(), 0u);
+}
+
+TEST(PageMap, MapAndLookup) {
+  PageMap map(SmallGeometry(), 64);
+  map.Map(5, 40);
+  EXPECT_EQ(map.Lookup(5), 40u);
+  EXPECT_EQ(map.ReverseLookup(40), 5u);
+  EXPECT_EQ(map.mapped_pages(), 1u);
+  EXPECT_EQ(map.ValidCount(40 / 8), 1u);
+}
+
+TEST(PageMap, RemapInvalidatesOldPhysicalPage) {
+  PageMap map(SmallGeometry(), 64);
+  map.Map(5, 40);
+  map.Map(5, 90);
+  EXPECT_EQ(map.Lookup(5), 90u);
+  EXPECT_EQ(map.ReverseLookup(40), kUnmapped);
+  EXPECT_EQ(map.ValidCount(40 / 8), 0u);
+  EXPECT_EQ(map.ValidCount(90 / 8), 1u);
+  EXPECT_EQ(map.mapped_pages(), 1u);
+}
+
+TEST(PageMap, UnmapTrims) {
+  PageMap map(SmallGeometry(), 64);
+  map.Map(7, 41);
+  map.Unmap(7);
+  EXPECT_EQ(map.Lookup(7), kUnmapped);
+  EXPECT_EQ(map.ReverseLookup(41), kUnmapped);
+  EXPECT_EQ(map.ValidCount(41 / 8), 0u);
+  map.Unmap(7);  // idempotent
+}
+
+TEST(PageMap, OnBlockErasedClearsReverseEntries) {
+  PageMap map(SmallGeometry(), 64);
+  map.Map(1, 8);   // block 1, page 0
+  map.Map(1, 20);  // relocated to block 2; block 1 entry stale
+  map.OnBlockErased(1);
+  EXPECT_EQ(map.Lookup(1), 20u);  // forward map untouched
+}
+
+TEST(BlockAllocator, AllPagesAllocatableExactlyOnce) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < g.pages(); ++i) {
+    Result<flash::Address> addr =
+        allocator.AllocatePage(BlockAllocator::kConventionalStream);
+    ASSERT_TRUE(addr.ok()) << "at page " << i;
+    uint64_t ppn = flash::PageIndex(g, *addr);
+    EXPECT_TRUE(seen.insert(ppn).second) << "duplicate page " << ppn;
+  }
+  EXPECT_TRUE(allocator
+                  .AllocatePage(BlockAllocator::kConventionalStream)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(BlockAllocator, PagesWithinBlockAreInOrder) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  std::map<uint64_t, uint32_t> next_page;  // block -> expected next page
+  for (uint64_t i = 0; i < g.pages(); ++i) {
+    flash::Address addr =
+        *allocator.AllocatePage(BlockAllocator::kConventionalStream);
+    uint64_t block = flash::BlockIndex(g, addr);
+    EXPECT_EQ(addr.page, next_page[block]) << "block " << block;
+    next_page[block] = addr.page + 1;
+  }
+}
+
+TEST(BlockAllocator, ConsecutiveAllocationsSpreadAcrossChannels) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  flash::Address a =
+      *allocator.AllocatePage(BlockAllocator::kConventionalStream);
+  flash::Address b =
+      *allocator.AllocatePage(BlockAllocator::kConventionalStream);
+  EXPECT_NE(a.channel, b.channel);
+}
+
+TEST(BlockAllocator, StreamsUseSeparateBlocks) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  flash::Address conv =
+      *allocator.AllocatePage(BlockAllocator::kConventionalStream);
+  flash::Address dest =
+      *allocator.AllocatePage(BlockAllocator::kDestageStream);
+  flash::Address gc = *allocator.AllocatePage(BlockAllocator::kGcStream);
+  EXPECT_NE(flash::BlockIndex(g, conv), flash::BlockIndex(g, dest));
+  EXPECT_NE(flash::BlockIndex(g, conv), flash::BlockIndex(g, gc));
+  EXPECT_NE(flash::BlockIndex(g, dest), flash::BlockIndex(g, gc));
+}
+
+TEST(BlockAllocator, SealedBlocksAppearAfterFilling) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  EXPECT_TRUE(allocator.sealed_blocks().empty());
+  for (uint32_t i = 0; i < g.pages_per_block * g.dies(); ++i) {
+    allocator.AllocatePage(BlockAllocator::kConventionalStream);
+  }
+  // One full block per die sealed.
+  EXPECT_EQ(allocator.sealed_blocks().size(), g.dies());
+}
+
+TEST(BlockAllocator, ReleaseReturnsBlockToPool) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  uint64_t before = allocator.free_blocks();
+  // Exhaust, then release one block.
+  while (allocator.AllocatePage(BlockAllocator::kConventionalStream).ok()) {
+  }
+  EXPECT_EQ(allocator.free_blocks(), 0u);
+  allocator.Release(3);
+  EXPECT_EQ(allocator.free_blocks(), 1u);
+  // 8 more pages allocatable.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(
+        allocator.AllocatePage(BlockAllocator::kConventionalStream).ok());
+  }
+  EXPECT_FALSE(
+      allocator.AllocatePage(BlockAllocator::kConventionalStream).ok());
+  (void)before;
+}
+
+TEST(BlockAllocator, MarkBadRetiresBlock) {
+  flash::Geometry g = SmallGeometry();
+  BlockAllocator allocator(g);
+  uint64_t free_before = allocator.free_blocks();
+  allocator.MarkBad(0);  // still in the free list
+  EXPECT_EQ(allocator.free_blocks(), free_before - 1);
+  EXPECT_EQ(allocator.bad_blocks(), 1u);
+}
+
+}  // namespace
+}  // namespace xssd::ftl

@@ -1,0 +1,78 @@
+#include "sim/bandwidth_server.h"
+
+#include <gtest/gtest.h>
+
+namespace xssd::sim {
+namespace {
+
+TEST(BandwidthServer, SingleTransferTakesBytesOverRate) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9);  // 1 GB/s = 1 byte/ns
+  SimTime done = server.Acquire(1000);
+  EXPECT_EQ(done, 1000u);
+}
+
+TEST(BandwidthServer, BackToBackTransfersQueueFifo) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9);
+  EXPECT_EQ(server.Acquire(100), 100u);
+  EXPECT_EQ(server.Acquire(100), 200u);  // starts after the first
+  EXPECT_EQ(server.Acquire(50), 250u);
+}
+
+TEST(BandwidthServer, IdleGapResetsStart) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9);
+  server.Acquire(100);
+  sim.Schedule(500, []() {});
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 500u);
+  EXPECT_TRUE(server.IdleNow());
+  EXPECT_EQ(server.Acquire(100), 600u);  // starts now, not at 200
+}
+
+TEST(BandwidthServer, PerRequestOverheadCharged) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9, /*per_request_overhead=*/50);
+  EXPECT_EQ(server.Acquire(100), 150u);
+  EXPECT_EQ(server.Acquire(100), 300u);
+}
+
+TEST(BandwidthServer, CallbackFiresAtCompletion) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9);
+  SimTime fired_at = 0;
+  server.Acquire(123, [&]() { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, 123u);
+}
+
+TEST(BandwidthServer, ProbeDoesNotReserve) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9);
+  EXPECT_EQ(server.Probe(100), 100u);
+  EXPECT_EQ(server.Probe(100), 100u);  // unchanged
+  server.Acquire(100);
+  EXPECT_EQ(server.Probe(100), 200u);
+}
+
+TEST(BandwidthServer, StatsAccumulateAndReset) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9);
+  server.Acquire(100);
+  server.Acquire(200);
+  EXPECT_EQ(server.total_bytes(), 300u);
+  EXPECT_EQ(server.total_requests(), 2u);
+  EXPECT_EQ(server.busy_time(), 300u);
+  server.ResetStats();
+  EXPECT_EQ(server.total_bytes(), 0u);
+}
+
+TEST(BandwidthServer, ZeroByteRequestCostsOnlyOverhead) {
+  Simulator sim;
+  BandwidthServer server(&sim, 1e9, 10);
+  EXPECT_EQ(server.Acquire(0), 10u);
+}
+
+}  // namespace
+}  // namespace xssd::sim

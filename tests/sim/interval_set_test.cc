@@ -1,0 +1,133 @@
+#include "sim/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace xssd::sim {
+namespace {
+
+TEST(IntervalSet, EmptyHasNoCoverage) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.ContiguousEnd(0), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.HasGapAfter(0));
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_TRUE(set.Contains(19));
+  EXPECT_FALSE(set.Contains(20));
+  EXPECT_EQ(set.ContiguousEnd(10), 20u);
+  EXPECT_EQ(set.ContiguousEnd(0), 0u);  // hole before 10
+  EXPECT_TRUE(set.HasGapAfter(0));
+}
+
+TEST(IntervalSet, AbuttingIntervalsMerge) {
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Insert(10, 20);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.ContiguousEnd(0), 20u);
+}
+
+TEST(IntervalSet, OverlappingIntervalsMerge) {
+  IntervalSet set;
+  set.Insert(0, 15);
+  set.Insert(10, 25);
+  set.Insert(5, 8);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.ContiguousEnd(0), 25u);
+}
+
+TEST(IntervalSet, GapDetectedAndFilled) {
+  IntervalSet set;
+  set.Insert(0, 100);
+  set.Insert(200, 300);  // hole [100, 200)
+  EXPECT_EQ(set.ContiguousEnd(0), 100u);
+  EXPECT_TRUE(set.HasGapAfter(0));
+  set.Insert(100, 200);  // fill it
+  EXPECT_EQ(set.ContiguousEnd(0), 300u);
+  EXPECT_FALSE(set.HasGapAfter(0));
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+TEST(IntervalSet, InsertSwallowsMultipleSuccessors) {
+  IntervalSet set;
+  set.Insert(10, 20);
+  set.Insert(30, 40);
+  set.Insert(50, 60);
+  set.Insert(0, 100);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.ContiguousEnd(0), 100u);
+}
+
+TEST(IntervalSet, EmptyInsertIgnored) {
+  IntervalSet set;
+  set.Insert(5, 5);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, TrimBelowDropsConsumedData) {
+  IntervalSet set;
+  set.Insert(0, 100);
+  set.Insert(200, 300);
+  set.TrimBelow(50);
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_TRUE(set.Contains(50));
+  EXPECT_EQ(set.ContiguousEnd(50), 100u);
+  set.TrimBelow(250);
+  EXPECT_EQ(set.ContiguousEnd(250), 300u);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+TEST(IntervalSet, ClearEmpties) {
+  IntervalSet set;
+  set.Insert(0, 10);
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+}
+
+// Property: inserting any permutation of a partition of [0, N) yields full
+// coverage with a single interval — the CMB "mostly sequential" tolerance.
+class IntervalSetPermutationTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IntervalSetPermutationTest, AnyInsertOrderCoversRange) {
+  Rng rng(GetParam());
+  // Random partition of [0, 4096) into chunks of 1..128 bytes.
+  std::vector<std::pair<uint64_t, uint64_t>> chunks;
+  uint64_t at = 0;
+  while (at < 4096) {
+    uint64_t len = std::min<uint64_t>(1 + rng.Uniform(128), 4096 - at);
+    chunks.push_back({at, at + len});
+    at += len;
+  }
+  // Shuffle.
+  for (size_t i = chunks.size(); i > 1; --i) {
+    std::swap(chunks[i - 1], chunks[rng.Uniform(i)]);
+  }
+  IntervalSet set;
+  uint64_t inserted = 0;
+  for (auto [begin, end] : chunks) {
+    set.Insert(begin, end);
+    inserted += end - begin;
+    // Invariant: contiguous prefix never exceeds total inserted bytes.
+    EXPECT_LE(set.ContiguousEnd(0), inserted);
+  }
+  EXPECT_EQ(set.ContiguousEnd(0), 4096u);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPermutationTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace xssd::sim

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace xssd::sim {
+namespace {
+
+TEST(LatencyRecorder, EmptyYieldsZeros) {
+  LatencyRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_EQ(recorder.Min(), 0);
+  EXPECT_EQ(recorder.Mean(), 0);
+  EXPECT_EQ(recorder.Percentile(50), 0);
+}
+
+TEST(LatencyRecorder, MinMaxMean) {
+  LatencyRecorder recorder;
+  for (double v : {5.0, 1.0, 3.0}) recorder.Add(v);
+  EXPECT_EQ(recorder.Min(), 1.0);
+  EXPECT_EQ(recorder.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(recorder.Mean(), 3.0);
+  EXPECT_EQ(recorder.count(), 3u);
+}
+
+TEST(LatencyRecorder, PercentilesOfKnownDistribution) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.Add(i);
+  EXPECT_NEAR(recorder.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(recorder.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(recorder.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(recorder.Percentile(99), 99.0, 1.1);
+}
+
+TEST(LatencyRecorder, AddAfterPercentileStillCorrect) {
+  LatencyRecorder recorder;
+  recorder.Add(10);
+  EXPECT_EQ(recorder.Percentile(50), 10);
+  recorder.Add(20);  // must re-sort internally
+  EXPECT_EQ(recorder.Max(), 20);
+  EXPECT_NEAR(recorder.Percentile(100), 20, 1e-9);
+}
+
+TEST(LatencyRecorder, CandlestickOrdering) {
+  LatencyRecorder recorder;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) recorder.Add(rng.NextDouble());
+  auto candle = recorder.Candlestick();
+  EXPECT_LE(candle.min, candle.p25);
+  EXPECT_LE(candle.p25, candle.p50);
+  EXPECT_LE(candle.p50, candle.p75);
+  EXPECT_LE(candle.p75, candle.max);
+}
+
+TEST(Counter, RatePerSec) {
+  Counter counter;
+  counter.Add(500);
+  EXPECT_DOUBLE_EQ(counter.RatePerSec(Ms(500)), 1000.0);
+  EXPECT_EQ(counter.RatePerSec(0), 0.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(42);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(Rng, UniformWithinBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.3);
+}
+
+}  // namespace
+}  // namespace xssd::sim
