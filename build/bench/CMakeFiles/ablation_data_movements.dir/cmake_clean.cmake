@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_movements.dir/ablation_data_movements.cc.o"
+  "CMakeFiles/ablation_data_movements.dir/ablation_data_movements.cc.o.d"
+  "ablation_data_movements"
+  "ablation_data_movements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_movements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

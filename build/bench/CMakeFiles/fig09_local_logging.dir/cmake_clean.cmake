@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_local_logging.dir/fig09_local_logging.cc.o"
+  "CMakeFiles/fig09_local_logging.dir/fig09_local_logging.cc.o.d"
+  "fig09_local_logging"
+  "fig09_local_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_local_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_write_combining.dir/fig10_write_combining.cc.o"
+  "CMakeFiles/fig10_write_combining.dir/fig10_write_combining.cc.o.d"
+  "fig10_write_combining"
+  "fig10_write_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_write_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

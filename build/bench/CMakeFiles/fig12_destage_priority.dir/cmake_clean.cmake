@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_destage_priority.dir/fig12_destage_priority.cc.o"
+  "CMakeFiles/fig12_destage_priority.dir/fig12_destage_priority.cc.o.d"
+  "fig12_destage_priority"
+  "fig12_destage_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_destage_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_replication_delay.dir/fig13_replication_delay.cc.o"
+  "CMakeFiles/fig13_replication_delay.dir/fig13_replication_delay.cc.o.d"
+  "fig13_replication_delay"
+  "fig13_replication_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_replication_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

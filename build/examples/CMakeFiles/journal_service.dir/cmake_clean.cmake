@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_service.dir/journal_service.cpp.o"
+  "CMakeFiles/journal_service.dir/journal_service.cpp.o.d"
+  "journal_service"
+  "journal_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_shipping.dir/log_shipping.cpp.o"
+  "CMakeFiles/log_shipping.dir/log_shipping.cpp.o.d"
+  "log_shipping"
+  "log_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

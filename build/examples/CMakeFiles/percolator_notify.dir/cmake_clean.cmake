@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percolator_notify.dir/percolator_notify.cpp.o"
+  "CMakeFiles/percolator_notify.dir/percolator_notify.cpp.o.d"
+  "percolator_notify"
+  "percolator_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percolator_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_logging.dir/tpcc_logging.cpp.o"
+  "CMakeFiles/tpcc_logging.dir/tpcc_logging.cpp.o.d"
+  "tpcc_logging"
+  "tpcc_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

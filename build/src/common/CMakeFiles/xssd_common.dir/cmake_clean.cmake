@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_common.dir/crc32.cc.o"
+  "CMakeFiles/xssd_common.dir/crc32.cc.o.d"
+  "CMakeFiles/xssd_common.dir/logging.cc.o"
+  "CMakeFiles/xssd_common.dir/logging.cc.o.d"
+  "CMakeFiles/xssd_common.dir/status.cc.o"
+  "CMakeFiles/xssd_common.dir/status.cc.o.d"
+  "libxssd_common.a"
+  "libxssd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cmb_module.cc" "src/core/CMakeFiles/xssd_core.dir/cmb_module.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/cmb_module.cc.o.d"
+  "/root/repo/src/core/destage_module.cc" "src/core/CMakeFiles/xssd_core.dir/destage_module.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/destage_module.cc.o.d"
+  "/root/repo/src/core/page_format.cc" "src/core/CMakeFiles/xssd_core.dir/page_format.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/page_format.cc.o.d"
+  "/root/repo/src/core/partitioned_device.cc" "src/core/CMakeFiles/xssd_core.dir/partitioned_device.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/partitioned_device.cc.o.d"
+  "/root/repo/src/core/transport_module.cc" "src/core/CMakeFiles/xssd_core.dir/transport_module.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/transport_module.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/xssd_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/validate.cc.o.d"
+  "/root/repo/src/core/villars_device.cc" "src/core/CMakeFiles/xssd_core.dir/villars_device.cc.o" "gcc" "src/core/CMakeFiles/xssd_core.dir/villars_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xssd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/xssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/xssd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/xssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/xssd_nvme.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

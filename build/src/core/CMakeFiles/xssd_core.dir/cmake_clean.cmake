@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_core.dir/cmb_module.cc.o"
+  "CMakeFiles/xssd_core.dir/cmb_module.cc.o.d"
+  "CMakeFiles/xssd_core.dir/destage_module.cc.o"
+  "CMakeFiles/xssd_core.dir/destage_module.cc.o.d"
+  "CMakeFiles/xssd_core.dir/page_format.cc.o"
+  "CMakeFiles/xssd_core.dir/page_format.cc.o.d"
+  "CMakeFiles/xssd_core.dir/partitioned_device.cc.o"
+  "CMakeFiles/xssd_core.dir/partitioned_device.cc.o.d"
+  "CMakeFiles/xssd_core.dir/transport_module.cc.o"
+  "CMakeFiles/xssd_core.dir/transport_module.cc.o.d"
+  "CMakeFiles/xssd_core.dir/validate.cc.o"
+  "CMakeFiles/xssd_core.dir/validate.cc.o.d"
+  "CMakeFiles/xssd_core.dir/villars_device.cc.o"
+  "CMakeFiles/xssd_core.dir/villars_device.cc.o.d"
+  "libxssd_core.a"
+  "libxssd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

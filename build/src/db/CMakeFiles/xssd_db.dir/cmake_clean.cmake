@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_db.dir/database.cc.o"
+  "CMakeFiles/xssd_db.dir/database.cc.o.d"
+  "CMakeFiles/xssd_db.dir/log_backend.cc.o"
+  "CMakeFiles/xssd_db.dir/log_backend.cc.o.d"
+  "CMakeFiles/xssd_db.dir/log_manager.cc.o"
+  "CMakeFiles/xssd_db.dir/log_manager.cc.o.d"
+  "CMakeFiles/xssd_db.dir/log_record.cc.o"
+  "CMakeFiles/xssd_db.dir/log_record.cc.o.d"
+  "CMakeFiles/xssd_db.dir/tpcc.cc.o"
+  "CMakeFiles/xssd_db.dir/tpcc.cc.o.d"
+  "CMakeFiles/xssd_db.dir/workload.cc.o"
+  "CMakeFiles/xssd_db.dir/workload.cc.o.d"
+  "libxssd_db.a"
+  "libxssd_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

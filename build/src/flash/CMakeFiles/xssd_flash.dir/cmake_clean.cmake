@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_flash.dir/array.cc.o"
+  "CMakeFiles/xssd_flash.dir/array.cc.o.d"
+  "CMakeFiles/xssd_flash.dir/geometry.cc.o"
+  "CMakeFiles/xssd_flash.dir/geometry.cc.o.d"
+  "libxssd_flash.a"
+  "libxssd_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxssd_flash.a"
+)

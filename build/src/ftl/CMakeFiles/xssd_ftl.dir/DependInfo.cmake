@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/ftl.cc" "src/ftl/CMakeFiles/xssd_ftl.dir/ftl.cc.o" "gcc" "src/ftl/CMakeFiles/xssd_ftl.dir/ftl.cc.o.d"
+  "/root/repo/src/ftl/mapping.cc" "src/ftl/CMakeFiles/xssd_ftl.dir/mapping.cc.o" "gcc" "src/ftl/CMakeFiles/xssd_ftl.dir/mapping.cc.o.d"
+  "/root/repo/src/ftl/scheduler.cc" "src/ftl/CMakeFiles/xssd_ftl.dir/scheduler.cc.o" "gcc" "src/ftl/CMakeFiles/xssd_ftl.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xssd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/xssd_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

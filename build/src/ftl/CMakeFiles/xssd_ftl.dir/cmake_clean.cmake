@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_ftl.dir/ftl.cc.o"
+  "CMakeFiles/xssd_ftl.dir/ftl.cc.o.d"
+  "CMakeFiles/xssd_ftl.dir/mapping.cc.o"
+  "CMakeFiles/xssd_ftl.dir/mapping.cc.o.d"
+  "CMakeFiles/xssd_ftl.dir/scheduler.cc.o"
+  "CMakeFiles/xssd_ftl.dir/scheduler.cc.o.d"
+  "libxssd_ftl.a"
+  "libxssd_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxssd_ftl.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/node.cc" "src/host/CMakeFiles/xssd_host.dir/node.cc.o" "gcc" "src/host/CMakeFiles/xssd_host.dir/node.cc.o.d"
+  "/root/repo/src/host/recovery.cc" "src/host/CMakeFiles/xssd_host.dir/recovery.cc.o" "gcc" "src/host/CMakeFiles/xssd_host.dir/recovery.cc.o.d"
+  "/root/repo/src/host/xcalls.cc" "src/host/CMakeFiles/xssd_host.dir/xcalls.cc.o" "gcc" "src/host/CMakeFiles/xssd_host.dir/xcalls.cc.o.d"
+  "/root/repo/src/host/xlog_client.cc" "src/host/CMakeFiles/xssd_host.dir/xlog_client.cc.o" "gcc" "src/host/CMakeFiles/xssd_host.dir/xlog_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xssd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/xssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/xssd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntb/CMakeFiles/xssd_ntb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/xssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/xssd_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

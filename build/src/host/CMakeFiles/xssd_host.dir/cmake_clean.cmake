@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_host.dir/node.cc.o"
+  "CMakeFiles/xssd_host.dir/node.cc.o.d"
+  "CMakeFiles/xssd_host.dir/recovery.cc.o"
+  "CMakeFiles/xssd_host.dir/recovery.cc.o.d"
+  "CMakeFiles/xssd_host.dir/xcalls.cc.o"
+  "CMakeFiles/xssd_host.dir/xcalls.cc.o.d"
+  "CMakeFiles/xssd_host.dir/xlog_client.cc.o"
+  "CMakeFiles/xssd_host.dir/xlog_client.cc.o.d"
+  "libxssd_host.a"
+  "libxssd_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxssd_host.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntb/ntb.cc" "src/ntb/CMakeFiles/xssd_ntb.dir/ntb.cc.o" "gcc" "src/ntb/CMakeFiles/xssd_ntb.dir/ntb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xssd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/xssd_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_ntb.dir/ntb.cc.o"
+  "CMakeFiles/xssd_ntb.dir/ntb.cc.o.d"
+  "libxssd_ntb.a"
+  "libxssd_ntb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_ntb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

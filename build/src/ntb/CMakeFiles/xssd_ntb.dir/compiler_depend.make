@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xssd_ntb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/command.cc" "src/nvme/CMakeFiles/xssd_nvme.dir/command.cc.o" "gcc" "src/nvme/CMakeFiles/xssd_nvme.dir/command.cc.o.d"
+  "/root/repo/src/nvme/controller.cc" "src/nvme/CMakeFiles/xssd_nvme.dir/controller.cc.o" "gcc" "src/nvme/CMakeFiles/xssd_nvme.dir/controller.cc.o.d"
+  "/root/repo/src/nvme/driver.cc" "src/nvme/CMakeFiles/xssd_nvme.dir/driver.cc.o" "gcc" "src/nvme/CMakeFiles/xssd_nvme.dir/driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xssd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/xssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/xssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/xssd_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_nvme.dir/command.cc.o"
+  "CMakeFiles/xssd_nvme.dir/command.cc.o.d"
+  "CMakeFiles/xssd_nvme.dir/controller.cc.o"
+  "CMakeFiles/xssd_nvme.dir/controller.cc.o.d"
+  "CMakeFiles/xssd_nvme.dir/driver.cc.o"
+  "CMakeFiles/xssd_nvme.dir/driver.cc.o.d"
+  "libxssd_nvme.a"
+  "libxssd_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxssd_nvme.a"
+)

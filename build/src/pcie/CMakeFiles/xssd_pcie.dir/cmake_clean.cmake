@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_pcie.dir/fabric.cc.o"
+  "CMakeFiles/xssd_pcie.dir/fabric.cc.o.d"
+  "CMakeFiles/xssd_pcie.dir/tlp.cc.o"
+  "CMakeFiles/xssd_pcie.dir/tlp.cc.o.d"
+  "libxssd_pcie.a"
+  "libxssd_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xssd_sim.dir/simulator.cc.o"
+  "CMakeFiles/xssd_sim.dir/simulator.cc.o.d"
+  "libxssd_sim.a"
+  "libxssd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xssd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

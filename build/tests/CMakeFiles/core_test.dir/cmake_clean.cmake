@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/cmb_module_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cmb_module_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/destage_module_test.cc.o"
+  "CMakeFiles/core_test.dir/core/destage_module_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/page_format_test.cc.o"
+  "CMakeFiles/core_test.dir/core/page_format_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/partitioned_device_test.cc.o"
+  "CMakeFiles/core_test.dir/core/partitioned_device_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/transport_module_test.cc.o"
+  "CMakeFiles/core_test.dir/core/transport_module_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/validate_test.cc.o"
+  "CMakeFiles/core_test.dir/core/validate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/villars_device_test.cc.o"
+  "CMakeFiles/core_test.dir/core/villars_device_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_core_test.dir/ftl/ftl_test.cc.o"
+  "CMakeFiles/ftl_core_test.dir/ftl/ftl_test.cc.o.d"
+  "ftl_core_test"
+  "ftl_core_test.pdb"
+  "ftl_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntb_test.dir/ntb/ntb_test.cc.o"
+  "CMakeFiles/ntb_test.dir/ntb/ntb_test.cc.o.d"
+  "ntb_test"
+  "ntb_test.pdb"
+  "ntb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pcie/fabric_test.cc" "tests/CMakeFiles/pcie_test.dir/pcie/fabric_test.cc.o" "gcc" "tests/CMakeFiles/pcie_test.dir/pcie/fabric_test.cc.o.d"
+  "/root/repo/tests/pcie/tlp_test.cc" "tests/CMakeFiles/pcie_test.dir/pcie/tlp_test.cc.o" "gcc" "tests/CMakeFiles/pcie_test.dir/pcie/tlp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/xssd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/xssd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntb/CMakeFiles/xssd_ntb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/xssd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/xssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/xssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/xssd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
