@@ -2,10 +2,16 @@
 #define XSSD_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcie/fabric.h"
+#include "sim/simulator.h"
 
 namespace xssd::bench {
 
@@ -34,6 +40,92 @@ inline pcie::FabricConfig PaperFabricConfig() {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// \brief Uniform bench reporting: one MetricsRegistry per bench binary,
+/// exported as a JSON snapshot on exit, plus an optional Chrome trace.
+///
+/// Flags consumed from argv (remaining arguments are exposed through
+/// positional()):
+///   --metrics PATH   snapshot destination (default: <name>.metrics.json)
+///   --trace PATH     record simulator events as Chrome trace_event JSON
+///
+/// Device counters accumulate across every run the bench performs; per-run
+/// headline numbers go in as `bench.<name>.*` gauges via SetResult(), so
+/// the snapshot carries both the raw device view and the figure's table.
+class BenchReporter {
+ public:
+  BenchReporter(int argc, char** argv, const std::string& name)
+      : name_(name), metrics_path_(name + ".metrics.json") {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--metrics" && i + 1 < argc) {
+        metrics_path_ = argv[++i];
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+        trace_ = std::make_unique<obs::ChromeTraceWriter>();
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  obs::MetricsRegistry& registry() { return registry_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Hook the trace writer (if --trace was given) into `sim`, grouping the
+  /// run's events under `run_label` in the viewer.
+  void AttachTrace(sim::Simulator* sim, const std::string& run_label) {
+    if (!trace_) return;
+    trace_->BeginProcess(run_label);
+    sim->set_trace_sink(trace_.get());
+  }
+
+  /// Record one headline result as a gauge named
+  /// "bench.<name>.<label>.<field>".
+  void SetResult(const std::string& label, const std::string& field,
+                 double value) {
+    registry_.GetGauge("bench." + name_ + "." + label + "." + field)
+        ->Set(value);
+  }
+  double Result(const std::string& label, const std::string& field) {
+    return registry_.GetGauge("bench." + name_ + "." + label + "." + field)
+        ->value();
+  }
+
+  /// Write the metrics snapshot (and the trace, when recording). Call once
+  /// at the end of main().
+  int Finish() {
+    obs::JsonExporter exporter(&registry_);
+    Status status = exporter.WriteFile(metrics_path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot: %s (%zu metrics)\n",
+                metrics_path_.c_str(), registry_.size());
+    if (trace_) {
+      status = trace_->WriteFile(trace_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: %s (%zu events, %llu dropped)\n",
+                  trace_path_.c_str(), trace_->event_count(),
+                  static_cast<unsigned long long>(trace_->dropped()));
+    }
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::vector<std::string> positional_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::ChromeTraceWriter> trace_;
+};
 
 }  // namespace xssd::bench
 

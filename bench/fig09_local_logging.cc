@@ -52,8 +52,14 @@ const char* MethodName(Method method) {
   return "?";
 }
 
-RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure) {
+std::string RunLabel(Method method, uint32_t workers) {
+  return std::string(MethodName(method)) + ".w" + std::to_string(workers);
+}
+
+RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure,
+                 bench::BenchReporter* reporter) {
   sim::Simulator sim;
+  reporter->AttachTrace(&sim, RunLabel(method, workers));
 
   core::BackingKind backing = method == Method::kVillarsDram
                                   ? core::BackingKind::kDram
@@ -65,6 +71,9 @@ RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure) {
     std::fprintf(stderr, "node init failed: %s\n", status.ToString().c_str());
     std::exit(1);
   }
+  // Unprefixed registration: the snapshot carries the plain device-metric
+  // namespace (cmb.*, destage.*, flash.*, ...), accumulated across runs.
+  node.EnableMetrics(&reporter->registry());
 
   std::unique_ptr<db::LogBackend> backend;
   switch (method) {
@@ -94,9 +103,15 @@ RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure) {
   db::WorkloadDriver driver(&sim, &database, &workload, workers);
   db::WorkloadResult result = driver.Run(sim::Ms(100), measure);
 
-  return RunResult{result.txns_per_sec, result.latency_us.Mean(),
-                   result.latency_us.Percentile(50),
-                   result.latency_us.Percentile(99)};
+  RunResult r{result.txns_per_sec, result.latency_us.Mean(),
+              result.latency_us.Percentile(50),
+              result.latency_us.Percentile(99)};
+  std::string label = RunLabel(method, workers);
+  reporter->SetResult(label, "txns_per_sec", r.txns_per_sec);
+  reporter->SetResult(label, "mean_latency_us", r.mean_latency_us);
+  reporter->SetResult(label, "p50_us", r.p50_us);
+  reporter->SetResult(label, "p99_us", r.p99_us);
+  return r;
 }
 
 }  // namespace
@@ -104,8 +119,11 @@ RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure) {
 
 int main(int argc, char** argv) {
   using namespace xssd;
+  bench::BenchReporter reporter(argc, argv, "fig09");
   sim::SimTime measure = sim::Ms(400);
-  if (argc > 1) measure = sim::Ms(std::atoi(argv[1]));
+  if (!reporter.positional().empty()) {
+    measure = sim::Ms(std::atoi(reporter.positional()[0].c_str()));
+  }
 
   bench::PrintHeader("Figure 9: logging to local storage (TPC-C, 16 WH)");
   std::printf("%-14s %8s %14s %12s %10s %10s\n", "method", "workers",
@@ -114,11 +132,11 @@ int main(int argc, char** argv) {
        {Method::kNoLog, Method::kNvdimm, Method::kNvme,
         Method::kVillarsSram, Method::kVillarsDram}) {
     for (uint32_t workers : {1u, 2u, 4u, 8u}) {
-      RunResult r = RunOne(method, workers, measure);
+      RunResult r = RunOne(method, workers, measure, &reporter);
       std::printf("%-14s %8u %14.0f %12.1f %10.1f %10.1f\n",
                   MethodName(method), workers, r.txns_per_sec,
                   r.mean_latency_us, r.p50_us, r.p99_us);
     }
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -94,7 +94,9 @@ int main() {
         // Small writes dominate event counts; a shorter window suffices
         // for a steady-state rate.
         sim::SimTime duration =
-            sizes[si] < 16 ? sim::Ms(1) : (sizes[si] < 64 ? sim::Ms(4) : sim::Ms(10));
+            sizes[si] < 16
+                ? sim::Ms(1)
+                : (sizes[si] < 64 ? sim::Ms(4) : sim::Ms(10));
         results[mi][si] = RunOne(backing, mode, sizes[si], duration);
         best = std::max(best, results[mi][si]);
       }

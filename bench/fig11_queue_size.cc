@@ -46,15 +46,16 @@ CellResult RunOne(uint64_t queue_bytes, uint32_t write_bytes,
   std::function<void()> pump = [&]() {
     if (stop) return;
     sim::SimTime start = sim.Now();
-    node.client().AppendDurable(group.data(), group.size(), [&, start](Status s) {
-      if (!s.ok()) {
-        stop = true;
-        return;
-      }
-      latency.Add(sim::ToUs(sim.Now() - start));
-      bytes_done += group.size();
-      pump();
-    });
+    node.client().AppendDurable(
+        group.data(), group.size(), [&, start](Status s) {
+          if (!s.ok()) {
+            stop = true;
+            return;
+          }
+          latency.Add(sim::ToUs(sim.Now() - start));
+          bytes_done += group.size();
+          pump();
+        });
   };
   pump();
 

@@ -73,7 +73,8 @@ CellResult RunOne(ftl::SchedulingPolicy policy, double conv_frac,
 
   // Fast generator: closed-loop appends throttled to fast_rate by pacing.
   std::vector<uint8_t> fast_payload(16 * 1024, 0xFA);
-  sim::SimTime fast_interval = sim::TransferTime(fast_payload.size(), fast_rate);
+  sim::SimTime fast_interval =
+      sim::TransferTime(fast_payload.size(), fast_rate);
   bool fast_busy = false;
   std::function<void()> fast_arrival = [&]() {
     if (!fast_busy) {

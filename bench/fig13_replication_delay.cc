@@ -30,14 +30,25 @@ struct RunResult {
   uint64_t samples;
 };
 
-RunResult RunOne(double update_period_us, sim::SimTime duration) {
+std::string RunLabel(double update_period_us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "period%.1fus", update_period_us);
+  return buf;
+}
+
+RunResult RunOne(double update_period_us, sim::SimTime duration,
+                 bench::BenchReporter* reporter) {
   sim::Simulator sim;
+  reporter->AttachTrace(&sim, RunLabel(update_period_us));
   core::VillarsConfig config =
       bench::PaperVillarsConfig(core::BackingKind::kSram);
   host::StorageNode primary(&sim, config, bench::PaperFabricConfig(), "pri");
   host::StorageNode secondary(&sim, config, bench::PaperFabricConfig(),
                               "sec");
   if (!primary.Init().ok() || !secondary.Init().ok()) std::exit(1);
+  // Node prefixes keep the two devices' metric namespaces apart.
+  primary.EnableMetrics(&reporter->registry(), "pri.");
+  secondary.EnableMetrics(&reporter->registry(), "sec.");
 
   host::ReplicationGroup group({&primary, &secondary});
   Status status = group.Setup(core::ReplicationProtocol::kEager,
@@ -97,14 +108,22 @@ RunResult RunOne(double update_period_us, sim::SimTime duration) {
   result.candle_us = delay_us.Candlestick();
   result.update_bw_pct = bw_pct;
   result.samples = delay_us.count();
+
+  std::string label = RunLabel(update_period_us);
+  reporter->SetResult(label, "p50_delay_us", result.candle_us.p50);
+  reporter->SetResult(label, "max_delay_us", result.candle_us.max);
+  reporter->SetResult(label, "update_bw_pct", result.update_bw_pct);
+  reporter->SetResult(label, "samples",
+                      static_cast<double>(result.samples));
   return result;
 }
 
 }  // namespace
 }  // namespace xssd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xssd;
+  bench::BenchReporter reporter(argc, argv, "fig13");
   const double periods_us[] = {0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6};
 
   bench::PrintHeader(
@@ -112,11 +131,11 @@ int main() {
   std::printf("%-10s %8s %8s %8s %8s %8s %10s %8s\n", "period_us", "min",
               "p25", "p50", "p75", "max", "bw_pct", "samples");
   for (double period : periods_us) {
-    RunResult r = RunOne(period, sim::Ms(20));
+    RunResult r = RunOne(period, sim::Ms(20), &reporter);
     std::printf("%-10.1f %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f%% %8lu\n",
                 period, r.candle_us.min, r.candle_us.p25, r.candle_us.p50,
                 r.candle_us.p75, r.candle_us.max, r.update_bw_pct,
                 static_cast<unsigned long>(r.samples));
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -66,7 +66,9 @@ int main() {
       });
     });
   };
-  for (int id = 0; id < kProducers; ++id) (*produce)(id, kNotificationsPerProducer);
+  for (int id = 0; id < kProducers; ++id) {
+    (*produce)(id, kNotificationsPerProducer);
+  }
 
   // Observer: tail the destaged log, reassembling records across reads.
   uint64_t observed = 0;

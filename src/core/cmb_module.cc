@@ -23,6 +23,19 @@ CmbModule::CmbModule(sim::Simulator* sim, const CmbConfig& config)
   XSSD_CHECK(config_.ring_bytes >= config_.queue_bytes);
 }
 
+void CmbModule::SetMetrics(obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  m_append_bytes_ = registry->GetCounter(prefix + "cmb.append_bytes");
+  m_append_chunks_ = registry->GetCounter(prefix + "cmb.append_chunks");
+  m_persisted_bytes_ = registry->GetCounter(prefix + "cmb.persisted_bytes");
+  m_overwrite_violations_ =
+      registry->GetCounter(prefix + "cmb.overwrite_violations");
+  m_powerloss_drains_ = registry->GetCounter(prefix + "cmb.powerloss_drains");
+  m_staging_occupancy_ =
+      registry->GetGauge(prefix + "cmb.staging_occupancy_bytes");
+  m_credit_ = registry->GetGauge(prefix + "cmb.credit");
+}
+
 uint64_t CmbModule::InferStreamOffset(uint64_t ring_offset) const {
   XSSD_CHECK(ring_offset < config_.ring_bytes);
   uint64_t base = credit_;
@@ -46,19 +59,32 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
                             "counting silently from here on)";
     }
     ++overwrite_violations_;
+    if (m_overwrite_violations_) m_overwrite_violations_->Add();
   }
 
   if (arrival_hook_) arrival_hook_(stream_offset, data, len);
 
+  if (m_append_bytes_) {
+    m_append_bytes_->Add(len);
+    m_append_chunks_->Add();
+  }
+
   // Stage, then proactively dequeue into backing memory (Figure 5, 1→2).
-  staging_.push_back(Staged{stream_offset, std::vector<uint8_t>(data, data + len)});
+  staging_.push_back(
+      Staged{stream_offset, std::vector<uint8_t>(data, data + len)});
   staging_bytes_ += len;
+  if (m_staging_occupancy_) {
+    m_staging_occupancy_->Set(static_cast<double>(staging_bytes_));
+  }
   backing_.Acquire(len, [this, epoch = drain_epoch_]() {
     // Stale events from before a power-loss drain or reboot are ignored.
     if (epoch != drain_epoch_ || staging_.empty()) return;
     Staged chunk = std::move(staging_.front());
     staging_.pop_front();
     staging_bytes_ -= chunk.data.size();
+    if (m_staging_occupancy_) {
+      m_staging_occupancy_->Set(static_cast<double>(staging_bytes_));
+    }
     Persist(chunk.stream_offset, std::move(chunk.data));
   });
 }
@@ -74,6 +100,7 @@ void CmbModule::Persist(uint64_t stream_offset, std::vector<uint8_t> data) {
   received_.Insert(stream_offset, stream_offset + data.size());
   highest_received_ =
       std::max(highest_received_, stream_offset + data.size());
+  if (m_persisted_bytes_) m_persisted_bytes_->Add(data.size());
   AdvanceCredit();
 }
 
@@ -84,6 +111,7 @@ void CmbModule::AdvanceCredit() {
   if (new_credit != credit_) {
     credit_ = new_credit;
     received_.TrimBelow(destaged_floor_);  // bounded metadata
+    if (m_credit_) m_credit_->Set(static_cast<double>(credit_));
     if (credit_hook_) credit_hook_(credit_);
   }
 }
@@ -115,12 +143,14 @@ void CmbModule::DrainStagingForPowerLoss() {
   // inside the device is flushed to the ring. Bytes still on the PCIe link
   // never arrived and are simply absent (potentially leaving a gap).
   ++drain_epoch_;
+  if (m_powerloss_drains_) m_powerloss_drains_->Add();
   while (!staging_.empty()) {
     Staged chunk = std::move(staging_.front());
     staging_.pop_front();
     staging_bytes_ -= chunk.data.size();
     Persist(chunk.stream_offset, std::move(chunk.data));
   }
+  if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
 }
 
 void CmbModule::ResetForReboot() {
@@ -132,6 +162,8 @@ void CmbModule::ResetForReboot() {
   credit_ = 0;
   highest_received_ = 0;
   destaged_floor_ = 0;
+  if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
+  if (m_credit_) m_credit_->Set(0);
 }
 
 }  // namespace xssd::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/metrics.h"
 #include "sim/bandwidth_server.h"
 #include "sim/interval_set.h"
 #include "sim/simulator.h"
@@ -94,6 +95,11 @@ class CmbModule {
   double backing_bytes_per_sec() const { return backing_bytes_per_sec_; }
   sim::BandwidthServer& backing_port() { return backing_; }
 
+  /// Register this module's metrics under `prefix` + "cmb." (occupancy,
+  /// credit, intake/persist byte counts). Safe to call more than once.
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   /// Infer the stream offset a ring-window write addresses. The writer may
   /// run up to one staging window ahead of the credit, so the unique
@@ -127,6 +133,15 @@ class CmbModule {
 
   CreditHook credit_hook_;
   ArrivalHook arrival_hook_;
+
+  // Observability (null until SetMetrics; hot paths test one pointer).
+  obs::Counter* m_append_bytes_ = nullptr;
+  obs::Counter* m_append_chunks_ = nullptr;
+  obs::Counter* m_persisted_bytes_ = nullptr;
+  obs::Counter* m_overwrite_violations_ = nullptr;
+  obs::Counter* m_powerloss_drains_ = nullptr;
+  obs::Gauge* m_staging_occupancy_ = nullptr;
+  obs::Gauge* m_credit_ = nullptr;
 };
 
 }  // namespace xssd::core

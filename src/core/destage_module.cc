@@ -13,6 +13,19 @@ DestageModule::DestageModule(sim::Simulator* sim, ftl::Ftl* ftl,
              ftl_->lpn_count());
 }
 
+void DestageModule::SetMetrics(obs::MetricsRegistry* registry,
+                               const std::string& prefix) {
+  m_pages_written_ = registry->GetCounter(prefix + "destage.pages_written");
+  m_partial_pages_ = registry->GetCounter(prefix + "destage.partial_pages");
+  m_filler_bytes_ = registry->GetCounter(prefix + "destage.filler_bytes");
+  m_stream_bytes_ = registry->GetCounter(prefix + "destage.stream_bytes");
+  m_write_failures_ = registry->GetCounter(prefix + "destage.write_failures");
+  m_inflight_ = registry->GetGauge(prefix + "destage.inflight");
+  m_backlog_bytes_ = registry->GetGauge(prefix + "destage.backlog_bytes");
+  m_page_latency_us_ =
+      registry->GetLatency(prefix + "destage.page_latency_us");
+}
+
 void DestageModule::OnCreditAdvance(uint64_t credit) {
   if (credit > credit_seen_) {
     if (credit_seen_ == destage_cursor_) {
@@ -20,6 +33,10 @@ void DestageModule::OnCreditAdvance(uint64_t credit) {
       oldest_pending_since_ = sim_->Now();
     }
     credit_seen_ = credit;
+  }
+  if (m_backlog_bytes_) {
+    m_backlog_bytes_->Set(
+        static_cast<double>(credit_seen_ - destage_cursor_));
   }
   Pump();
 }
@@ -90,12 +107,20 @@ void DestageModule::EmitPage(uint32_t len) {
     oldest_pending_since_ = sim_->Now();
   }
   ++inflight_;
+  if (m_inflight_) m_inflight_->Set(inflight_);
+  if (m_backlog_bytes_) {
+    m_backlog_bytes_->Set(static_cast<double>(
+        std::min(credit_seen_, barrier_) - destage_cursor_));
+  }
+  sim::SimTime issued_at = sim_->Now();
 
   ftl_->WriteDirect(
       ftl::IoClass::kDestage, lba, std::move(page),
-      [this, begin, end, len](Status status) {
+      [this, begin, end, len, issued_at](Status status) {
         --inflight_;
+        if (m_inflight_) m_inflight_->Set(inflight_);
         if (!status.ok()) {
+          if (m_write_failures_) m_write_failures_->Add();
           // FTL already retried grown-bad blocks; anything surfacing here
           // is fatal for the extent. Keep the counter honest: destaged_
           // will simply never cross the hole.
@@ -106,9 +131,18 @@ void DestageModule::EmitPage(uint32_t len) {
         }
         ++stats_.pages_written;
         stats_.stream_bytes += len;
+        if (m_pages_written_) {
+          m_pages_written_->Add();
+          m_stream_bytes_->Add(len);
+          m_page_latency_us_->Add(sim::ToUs(sim_->Now() - issued_at));
+        }
         if (len < Capacity()) {
           ++stats_.partial_pages;
           stats_.filler_bytes += Capacity() - len;
+          if (m_partial_pages_) {
+            m_partial_pages_->Add();
+            m_filler_bytes_->Add(Capacity() - len);
+          }
         }
         completed_.Insert(begin, end);
         uint64_t new_destaged = completed_.ContiguousEnd(destaged_);

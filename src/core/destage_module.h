@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/page_format.h"
 #include "ftl/ftl.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace xssd::core {
@@ -67,6 +68,10 @@ class DestageModule {
 
   const DestageStats& stats() const { return stats_; }
 
+  /// Register this module's metrics under `prefix` + "destage.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   /// Payload capacity of one destage page.
   uint32_t Capacity() const {
@@ -103,6 +108,16 @@ class DestageModule {
   sim::IntervalSet completed_;
 
   DestageStats stats_;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_pages_written_ = nullptr;
+  obs::Counter* m_partial_pages_ = nullptr;
+  obs::Counter* m_filler_bytes_ = nullptr;
+  obs::Counter* m_stream_bytes_ = nullptr;
+  obs::Counter* m_write_failures_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Gauge* m_backlog_bytes_ = nullptr;
+  obs::LatencyRecorder* m_page_latency_us_ = nullptr;
 };
 
 }  // namespace xssd::core

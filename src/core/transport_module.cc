@@ -44,6 +44,34 @@ void TransportModule::ConfigureSecondary(uint64_t primary_shadow_addr) {
   primary_shadow_addr_ = primary_shadow_addr;
 }
 
+void TransportModule::SetMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) {
+  m_mirrored_bytes_ =
+      registry->GetCounter(prefix + "transport.mirrored_bytes");
+  m_mirror_chunks_ = registry->GetCounter(prefix + "transport.mirror_chunks");
+  m_counter_updates_ =
+      registry->GetCounter(prefix + "transport.counter_updates");
+  m_shadow_advances_ =
+      registry->GetCounter(prefix + "transport.shadow_advances");
+  m_replication_lag_bytes_ =
+      registry->GetGauge(prefix + "transport.replication_lag_bytes");
+}
+
+void TransportModule::UpdateLagGauge() {
+  if (!m_replication_lag_bytes_) return;
+  if (role_ != Role::kPrimary || peers_.empty()) {
+    m_replication_lag_bytes_->Set(0);
+    return;
+  }
+  uint64_t lag = 0;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (local_credit_ > shadows_[i]) {
+      lag = std::max(lag, local_credit_ - shadows_[i]);
+    }
+  }
+  m_replication_lag_bytes_->Set(static_cast<double>(lag));
+}
+
 void TransportModule::OnCmbArrival(uint64_t stream_offset,
                                    const uint8_t* data, size_t len) {
   if (role_ != Role::kPrimary || peers_.empty()) return;
@@ -55,9 +83,11 @@ void TransportModule::OnCmbArrival(uint64_t stream_offset,
   uint64_t ring_offset = stream_offset % ring_bytes_;
   size_t first = static_cast<size_t>(
       std::min<uint64_t>(len, ring_bytes_ - ring_offset));
+  if (m_mirror_chunks_) m_mirror_chunks_->Add();
   if (multicast_window_ != 0) {
     // One flow; the NTB adapter fans out in hardware.
     mirrored_bytes_ += len;
+    if (m_mirrored_bytes_) m_mirrored_bytes_->Add(len);
     fabric_->PeerWrite(multicast_window_ + kRingWindowOffset + ring_offset,
                        data, first, pcie::StoreEngine::kWcLineBytes);
     if (first < len) {
@@ -68,6 +98,7 @@ void TransportModule::OnCmbArrival(uint64_t stream_offset,
   }
   for (uint64_t peer_base : peers_) {
     mirrored_bytes_ += len;
+    if (m_mirrored_bytes_) m_mirrored_bytes_->Add(len);
     fabric_->PeerWrite(peer_base + kRingWindowOffset + ring_offset, data,
                        first, pcie::StoreEngine::kWcLineBytes);
     if (first < len) {
@@ -79,6 +110,7 @@ void TransportModule::OnCmbArrival(uint64_t stream_offset,
 
 void TransportModule::OnLocalCredit(uint64_t credit) {
   local_credit_ = credit;
+  UpdateLagGauge();
 }
 
 void TransportModule::UpdateTick() {
@@ -92,6 +124,7 @@ void TransportModule::UpdateTick() {
     fabric_->PeerWrite(primary_shadow_addr_, payload, 8, 8);
     last_sent_credit_ = local_credit_;
     ++counter_updates_sent_;
+    if (m_counter_updates_) m_counter_updates_->Add();
   }
   uint64_t generation = timer_generation_;
   sim_->Schedule(config_.update_period, [this, generation]() {
@@ -105,6 +138,8 @@ void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
   if (value > shadows_[index]) {
     shadows_[index] = value;
     last_shadow_advance_ = sim_->Now();
+    if (m_shadow_advances_) m_shadow_advances_->Add();
+    UpdateLagGauge();
     if (shadow_hook_) shadow_hook_(index, value);
   }
 }
@@ -134,7 +169,8 @@ uint64_t TransportModule::EffectiveCredit(uint64_t local_credit) const {
 
 uint64_t TransportModule::StatusWord(uint64_t local_credit) const {
   uint64_t word = static_cast<uint64_t>(role_) & StatusBits::kRoleMask;
-  word |= (static_cast<uint64_t>(peers_.size()) << StatusBits::kPeerCountShift) &
+  word |= (static_cast<uint64_t>(peers_.size())
+           << StatusBits::kPeerCountShift) &
           StatusBits::kPeerCountMask;
   if (role_ == Role::kPrimary && !peers_.empty()) {
     uint64_t effective = EffectiveCredit(local_credit);

@@ -7,6 +7,7 @@
 
 #include "core/config.h"
 #include "core/registers.h"
+#include "obs/metrics.h"
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
 
@@ -101,8 +102,13 @@ class TransportModule {
   uint64_t mirrored_bytes() const { return mirrored_bytes_; }
   uint64_t counter_updates_sent() const { return counter_updates_sent_; }
 
+  /// Register this module's metrics under `prefix` + "transport.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   void UpdateTick();
+  void UpdateLagGauge();
 
   sim::Simulator* sim_;
   pcie::PcieFabric* fabric_;
@@ -126,6 +132,13 @@ class TransportModule {
   uint64_t mirrored_bytes_ = 0;
   uint64_t counter_updates_sent_ = 0;
   ShadowHook shadow_hook_;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_mirrored_bytes_ = nullptr;
+  obs::Counter* m_mirror_chunks_ = nullptr;
+  obs::Counter* m_counter_updates_ = nullptr;
+  obs::Counter* m_shadow_advances_ = nullptr;
+  obs::Gauge* m_replication_lag_bytes_ = nullptr;
 };
 
 }  // namespace xssd::core

@@ -43,6 +43,18 @@ void VillarsDevice::WireHooks() {
       });
 }
 
+void VillarsDevice::EnableMetrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) {
+  metrics_registry_ = registry;
+  metrics_prefix_ = prefix;
+  array_->SetMetrics(registry, prefix);
+  ftl_->SetMetrics(registry, prefix);
+  controller_->SetMetrics(registry, prefix);
+  cmb_->SetMetrics(registry, prefix);
+  destage_->SetMetrics(registry, prefix);
+  transport_->SetMetrics(registry, prefix);
+}
+
 Status VillarsDevice::Attach(uint64_t bar0_base, uint64_t cmb_base) {
   XSSD_RETURN_IF_ERROR(fabric_->AddMmioRegion(
       bar0_base, nvme::kBar0Bytes, controller_.get(), name_ + "/bar0"));
@@ -212,6 +224,9 @@ void VillarsDevice::Reboot() {
   // conventional side keeps all destaged pages (recovery reads them).
   destage_ = std::make_unique<DestageModule>(sim_, ftl_.get(), cmb_.get(),
                                              config_.destage, epoch_);
+  if (metrics_registry_ != nullptr) {
+    destage_->SetMetrics(metrics_registry_, metrics_prefix_);
+  }
   // Advance the destage ring cursor past the previous epoch's pages so new
   // destages do not immediately overwrite recovery data. Recovery tooling
   // reads the ring before writing resumes.

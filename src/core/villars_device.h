@@ -83,6 +83,12 @@ class VillarsDevice : public pcie::MmioDevice {
     return transport_->EffectiveCredit(cmb_->local_credit());
   }
 
+  /// Register metrics for every component under `prefix` (e.g. "cmb.*",
+  /// "destage.*", "flash.*"). The registry pointer is retained so the
+  /// destage module recreated by Reboot() is re-instrumented.
+  void EnableMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix = "");
+
  private:
   /// Vendor-specific admin command dispatch.
   void HandleVendorAdmin(const nvme::Command& cmd,
@@ -109,6 +115,10 @@ class VillarsDevice : public pcie::MmioDevice {
   uint64_t cmb_base_ = 0;
   bool halted_ = false;
   uint32_t epoch_ = 0;
+
+  // Observability (set by EnableMetrics; survives Reboot()).
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metrics_prefix_;
 };
 
 }  // namespace xssd::core

@@ -33,6 +33,19 @@ Array::Array(sim::Simulator* sim, Geometry geometry, Timing timing,
   }
 }
 
+void Array::SetMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) {
+  m_reads_ = registry->GetCounter(prefix + "flash.reads");
+  m_programs_ = registry->GetCounter(prefix + "flash.programs");
+  m_erases_ = registry->GetCounter(prefix + "flash.erases");
+  m_program_failures_ =
+      registry->GetCounter(prefix + "flash.program_failures");
+  m_corrected_bit_errors_ =
+      registry->GetCounter(prefix + "flash.corrected_bit_errors");
+  m_uncorrectable_reads_ =
+      registry->GetCounter(prefix + "flash.uncorrectable_reads");
+}
+
 Array::Block& Array::BlockAt(const Address& addr) {
   Die& die = DieAt(addr.channel, addr.die);
   return die.blocks[addr.plane * geometry_.blocks_per_plane + addr.block];
@@ -106,8 +119,10 @@ void Array::Program(const Address& addr, std::vector<uint8_t> data,
   sim::SimTime prog_done = OccupyDie(die, bus_done, timing_.program_latency);
 
   ++stats_.programs;
+  if (m_programs_) m_programs_->Add();
   if (fail) {
     ++stats_.program_failures;
+    if (m_program_failures_) m_program_failures_->Add();
     block.bad = true;
     sim_->ScheduleAt(prog_done, [done = std::move(done)]() {
       done(Status::IoError("program operation failed"));
@@ -124,6 +139,7 @@ void Array::Read(const Address& addr, ReadCallback done) {
   XSSD_CHECK(Contains(geometry_, addr));
   Block& block = BlockAt(addr);
   ++stats_.reads;
+  if (m_reads_) m_reads_->Add();
 
   // tR moves the page into the register, then it streams over the bus.
   Die& die = DieAt(addr.channel, addr.die);
@@ -140,6 +156,7 @@ void Array::Read(const Address& addr, ReadCallback done) {
   Status status = Status::OK();
   if (errors > reliability_.ecc_correctable_bits) {
     ++stats_.uncorrectable_reads;
+    if (m_uncorrectable_reads_) m_uncorrectable_reads_->Add();
     // Corrupt the returned image deterministically.
     for (uint64_t i = 0; i < errors && i < 64; ++i) {
       uint64_t bit = rng_.Uniform(data.size() * 8);
@@ -148,6 +165,7 @@ void Array::Read(const Address& addr, ReadCallback done) {
     status = Status::Corruption("uncorrectable bit errors");
   } else {
     stats_.corrected_bit_errors += errors;
+    if (m_corrected_bit_errors_) m_corrected_bit_errors_->Add(errors);
   }
   sim_->ScheduleAt(bus_done, [status, data = std::move(data),
                               done = std::move(done)]() mutable {
@@ -169,6 +187,7 @@ void Array::Erase(const Address& addr, EraseCallback done) {
       OccupyDie(die, sim_->Now() + timing_.command_overhead,
                 timing_.erase_latency);
   ++stats_.erases;
+  if (m_erases_) m_erases_->Add();
   ++block.erase_count;
   for (auto& page : block.pages) page.clear();
   block.next_page = 0;

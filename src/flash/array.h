@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "flash/geometry.h"
 #include "flash/timing.h"
+#include "obs/metrics.h"
 #include "sim/bandwidth_server.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -90,6 +91,10 @@ class Array {
   /// Aggregate sustainable program bandwidth (all dies busy), bytes/sec.
   double MaxProgramBandwidth() const;
 
+  /// Register this array's metrics under `prefix` + "flash.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   struct Block {
     std::vector<std::vector<uint8_t>> pages;  // empty vector == erased
@@ -104,7 +109,9 @@ class Array {
 
   Block& BlockAt(const Address& addr);
   const Block& BlockAt(const Address& addr) const;
-  Die& DieAt(uint32_t channel, uint32_t die) { return dies_[channel * geometry_.dies_per_channel + die]; }
+  Die& DieAt(uint32_t channel, uint32_t die) {
+    return dies_[channel * geometry_.dies_per_channel + die];
+  }
   const Die& DieAt(uint32_t channel, uint32_t die) const {
     return dies_[channel * geometry_.dies_per_channel + die];
   }
@@ -125,6 +132,14 @@ class Array {
   std::vector<Die> dies_;
   std::vector<std::unique_ptr<sim::BandwidthServer>> channel_bus_;
   ArrayStats stats_;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_programs_ = nullptr;
+  obs::Counter* m_erases_ = nullptr;
+  obs::Counter* m_program_failures_ = nullptr;
+  obs::Counter* m_corrected_bit_errors_ = nullptr;
+  obs::Counter* m_uncorrectable_reads_ = nullptr;
 };
 
 }  // namespace xssd::flash

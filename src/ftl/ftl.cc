@@ -27,6 +27,27 @@ Ftl::Ftl(sim::Simulator* sim, flash::Array* array, FtlConfig config)
       allocator_(array->geometry()),
       buffer_port_(sim, config.buffer_bytes_per_sec) {}
 
+void Ftl::SetMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) {
+  m_host_writes_ = registry->GetCounter(prefix + "ftl.host_writes");
+  m_flash_programs_ = registry->GetCounter(prefix + "ftl.flash_programs");
+  m_gc_pages_moved_ = registry->GetCounter(prefix + "ftl.gc.pages_moved");
+  m_gc_erases_ = registry->GetCounter(prefix + "ftl.gc.erases");
+  m_buffer_hits_ = registry->GetCounter(prefix + "ftl.buffer_hits");
+  m_bad_block_retires_ =
+      registry->GetCounter(prefix + "ftl.bad_block_retires");
+  m_dirty_pages_ = registry->GetGauge(prefix + "ftl.dirty_pages");
+  m_free_blocks_ = registry->GetGauge(prefix + "ftl.free_blocks");
+  scheduler_.SetMetrics(registry, prefix);
+  UpdateGauges();
+}
+
+void Ftl::UpdateGauges() {
+  if (!m_dirty_pages_) return;
+  m_dirty_pages_->Set(static_cast<double>(dirty_count_));
+  m_free_blocks_->Set(static_cast<double>(allocator_.free_blocks()));
+}
+
 void Ftl::TouchLru(uint64_t lpn) {
   auto it = buffer_.find(lpn);
   XSSD_CHECK(it != buffer_.end());
@@ -58,6 +79,7 @@ void Ftl::WriteBuffered(uint64_t lpn, std::vector<uint8_t> data,
   XSSD_CHECK(lpn < map_.lpn_count());
   data.resize(page_bytes(), 0);
   ++stats_.host_writes;
+  if (m_host_writes_) m_host_writes_->Add();
 
   // Device-side back-pressure: when the data buffer is all dirty, new
   // writes wait for writeback to free a slot (the host sees a slower ack,
@@ -91,6 +113,7 @@ void Ftl::AdmitWrite(uint64_t lpn, std::vector<uint8_t> data,
     }
     TouchLru(lpn);
   }
+  UpdateGauges();
   EvictIfNeeded();
   MaybeScheduleFlush();
 
@@ -106,12 +129,14 @@ void Ftl::WriteDirect(IoClass io_class, uint64_t lpn,
   XSSD_CHECK(lpn < map_.lpn_count());
   data.resize(page_bytes(), 0);
   ++stats_.host_writes;
+  if (m_host_writes_) m_host_writes_->Add();
   // A direct write supersedes any buffered copy.
   auto it = buffer_.find(lpn);
   if (it != buffer_.end()) {
     if (it->second.dirty) --dirty_count_;
     lru_.erase(it->second.lru_pos);
     buffer_.erase(it);
+    UpdateGauges();
   }
   ProgramPage(io_class, StreamFor(io_class), lpn, std::move(data),
               std::move(done));
@@ -147,6 +172,7 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
           uint64_t block = flash::BlockIndex(array_->geometry(), target);
           allocator_.MarkBad(block);
           ++stats_.bad_block_retires;
+          if (m_bad_block_retires_) m_bad_block_retires_->Add();
           ProgramPage(io_class, stream, lpn, std::move(data),
                       std::move(done));
           return;
@@ -156,7 +182,9 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
           return;
         }
         ++stats_.flash_programs;
+        if (m_flash_programs_) m_flash_programs_->Add();
         map_.Map(lpn, ppn);
+        UpdateGauges();
         MaybeStartGc();
         done(Status::OK());
       });
@@ -167,13 +195,15 @@ void Ftl::ReadPage(IoClass io_class, uint64_t lpn, ReadCallback done) {
   auto it = buffer_.find(lpn);
   if (it != buffer_.end()) {
     ++stats_.buffer_hits;
+    if (m_buffer_hits_) m_buffer_hits_->Add();
     TouchLru(lpn);
     std::vector<uint8_t> copy = it->second.data;
     sim::SimTime at = buffer_port_.Acquire(page_bytes());
-    sim_->ScheduleAt(at + config_.firmware_latency,
-                     [copy = std::move(copy), done = std::move(done)]() mutable {
-                       done(Status::OK(), std::move(copy));
-                     });
+    sim_->ScheduleAt(
+        at + config_.firmware_latency,
+        [copy = std::move(copy), done = std::move(done)]() mutable {
+          done(Status::OK(), std::move(copy));
+        });
     return;
   }
   uint64_t ppn = map_.Lookup(lpn);
@@ -207,6 +237,7 @@ bool Ftl::FlushOne() {
     it->second.dirty = false;
     --dirty_count_;
     ++flush_inflight_;
+    UpdateGauges();
     std::vector<uint8_t> data = it->second.data;
     ProgramPage(IoClass::kConventional, BlockAllocator::kConventionalStream,
                 lpn, std::move(data), [this, lpn](Status status) {
@@ -272,6 +303,7 @@ void Ftl::Trim(uint64_t lpn) {
     if (it->second.dirty) --dirty_count_;
     lru_.erase(it->second.lru_pos);
     buffer_.erase(it);
+    UpdateGauges();
   }
   map_.Unmap(lpn);
 }
@@ -315,10 +347,15 @@ void Ftl::GcStep() {
               self->map_.OnBlockErased(victim);
               self->allocator_.Release(victim);
               ++self->stats_.gc_erases;
+              if (self->m_gc_erases_) self->m_gc_erases_->Add();
             } else {
               self->allocator_.MarkBad(victim);
               ++self->stats_.bad_block_retires;
+              if (self->m_bad_block_retires_) {
+                self->m_bad_block_retires_->Add();
+              }
             }
+            self->UpdateGauges();
             self->GcStep();
           });
       return;
@@ -346,9 +383,11 @@ void Ftl::GcStep() {
             return;
           }
           ++self->stats_.gc_relocations;
-          self->ProgramPage(IoClass::kConventional,
-                            BlockAllocator::kGcStream, lpn, std::move(data),
-                            [relocate, page](Status) { (*relocate)(page + 1); });
+          if (self->m_gc_pages_moved_) self->m_gc_pages_moved_->Add();
+          self->ProgramPage(
+              IoClass::kConventional, BlockAllocator::kGcStream, lpn,
+              std::move(data),
+              [relocate, page](Status) { (*relocate)(page + 1); });
         });
   };
   (*relocate)(0);

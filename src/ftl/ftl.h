@@ -13,6 +13,7 @@
 #include "flash/array.h"
 #include "ftl/mapping.h"
 #include "ftl/scheduler.h"
+#include "obs/metrics.h"
 #include "sim/bandwidth_server.h"
 
 namespace xssd::ftl {
@@ -102,6 +103,11 @@ class Ftl {
   uint64_t dirty_pages() const { return dirty_count_; }
   uint64_t free_blocks() const { return allocator_.free_blocks(); }
 
+  /// Register this FTL's metrics under `prefix` + "ftl." (also wires the
+  /// channel scheduler under `prefix` + "ftl.sched.").
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   struct BufferSlot {
     std::vector<uint8_t> data;
@@ -134,6 +140,9 @@ class Ftl {
   void TouchLru(uint64_t lpn);
   void EvictIfNeeded();
 
+  /// Refresh the dirty-page / free-block gauges (no-op before SetMetrics).
+  void UpdateGauges();
+
   sim::Simulator* sim_;
   flash::Array* array_;
   FtlConfig config_;
@@ -163,6 +172,16 @@ class Ftl {
 
   bool gc_running_ = false;
   FtlStats stats_;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_host_writes_ = nullptr;
+  obs::Counter* m_flash_programs_ = nullptr;
+  obs::Counter* m_gc_pages_moved_ = nullptr;
+  obs::Counter* m_gc_erases_ = nullptr;
+  obs::Counter* m_buffer_hits_ = nullptr;
+  obs::Counter* m_bad_block_retires_ = nullptr;
+  obs::Gauge* m_dirty_pages_ = nullptr;
+  obs::Gauge* m_free_blocks_ = nullptr;
 };
 
 }  // namespace xssd::ftl

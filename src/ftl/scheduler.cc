@@ -22,11 +22,25 @@ Scheduler::Scheduler(sim::Simulator* sim, flash::Array* array,
   channels_.resize(array_->geometry().channels);
 }
 
+void Scheduler::SetMetrics(obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  m_issued_[0] = registry->GetCounter(prefix + "ftl.sched.conv.issued");
+  m_issued_[1] = registry->GetCounter(prefix + "ftl.sched.destage.issued");
+  m_completed_bytes_[0] =
+      registry->GetCounter(prefix + "ftl.sched.conv.completed_bytes");
+  m_completed_bytes_[1] =
+      registry->GetCounter(prefix + "ftl.sched.destage.completed_bytes");
+  m_queued_[0] = registry->GetGauge(prefix + "ftl.sched.conv.queued");
+  m_queued_[1] = registry->GetGauge(prefix + "ftl.sched.destage.queued");
+  m_inflight_ = registry->GetGauge(prefix + "ftl.sched.inflight");
+}
+
 void Scheduler::Enqueue(uint32_t channel, Op op) {
   op.seq = next_seq_++;
-  queued_[static_cast<int>(op.io_class)]++;
-  channels_[channel].queue[static_cast<int>(op.io_class)].push_back(
-      std::move(op));
+  int k = static_cast<int>(op.io_class);
+  queued_[k]++;
+  if (m_queued_[k]) m_queued_[k]->Set(static_cast<double>(queued_[k]));
+  channels_[channel].queue[k].push_back(std::move(op));
   Dispatch(channel);
 }
 
@@ -78,6 +92,11 @@ void Scheduler::Issue(uint32_t channel, int io_class, size_t index) {
   state.queue[io_class].erase(state.queue[io_class].begin() + index);
   queued_[io_class]--;
   ++inflight_;
+  if (m_queued_[io_class]) {
+    m_queued_[io_class]->Set(static_cast<double>(queued_[io_class]));
+  }
+  if (m_issued_[io_class]) m_issued_[io_class]->Add();
+  if (m_inflight_) m_inflight_->Set(static_cast<double>(inflight_));
   if (op.uses_bus) state.bus_busy = true;
 
   auto bus_released = [this, channel, uses_bus = op.uses_bus]() {
@@ -89,6 +108,10 @@ void Scheduler::Issue(uint32_t channel, int io_class, size_t index) {
   auto completed = [this, channel, io_class, bytes = op.bytes]() {
     --inflight_;
     completed_bytes_[io_class] += bytes;
+    if (m_inflight_) m_inflight_->Set(static_cast<double>(inflight_));
+    if (m_completed_bytes_[io_class]) {
+      m_completed_bytes_[io_class]->Add(bytes);
+    }
     Dispatch(channel);
   };
   op.run(std::move(bus_released), std::move(completed));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "flash/array.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace xssd::ftl {
@@ -71,6 +72,10 @@ class Scheduler {
   }
   void ResetStats() { completed_bytes_[0] = completed_bytes_[1] = 0; }
 
+  /// Register this scheduler's metrics under `prefix` + "ftl.sched.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   struct Op {
     IoClass io_class;
@@ -107,6 +112,12 @@ class Scheduler {
   uint64_t inflight_ = 0;
   uint64_t queued_[2] = {0, 0};
   uint64_t completed_bytes_[2] = {0, 0};
+
+  // Observability (null until SetMetrics; indexed by IoClass).
+  obs::Counter* m_issued_[2] = {nullptr, nullptr};
+  obs::Counter* m_completed_bytes_[2] = {nullptr, nullptr};
+  obs::Gauge* m_queued_[2] = {nullptr, nullptr};
+  obs::Gauge* m_inflight_ = nullptr;
 };
 
 }  // namespace xssd::ftl

@@ -33,6 +33,13 @@ Status StorageNode::Init() {
   return Status::OK();
 }
 
+void StorageNode::EnableMetrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  device_.EnableMetrics(registry, prefix);
+  fabric_.SetMetrics(registry, prefix);
+  ntb_.SetMetrics(registry, prefix);
+}
+
 Result<uint64_t> StorageNode::ConnectWindowTo(uint32_t slot,
                                               StorageNode& peer) {
   if (!ntb_attached_) return Status::FailedPrecondition("Init() first");

@@ -50,6 +50,12 @@ class StorageNode {
   Result<uint64_t> ConnectMulticastWindowTo(
       uint32_t slot, const std::vector<StorageNode*>& peers);
 
+  /// Register metrics for the device, fabric, and NTB adapter under
+  /// `prefix` (empty for the acceptance-standard plain "cmb.*" names;
+  /// per-node prefixes like "pri." disambiguate multi-node benches).
+  void EnableMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix = "");
+
   pcie::PcieFabric& fabric() { return fabric_; }
   core::VillarsDevice& device() { return device_; }
   nvme::Driver& driver() { return driver_; }
@@ -75,7 +81,8 @@ class StorageNode {
 class ReplicationGroup {
  public:
   /// `nodes[0]` becomes the primary, the rest secondaries.
-  ReplicationGroup(std::vector<StorageNode*> nodes) : nodes_(std::move(nodes)) {}
+  ReplicationGroup(std::vector<StorageNode*> nodes)
+      : nodes_(std::move(nodes)) {}
 
   /// Establish windows, roles, protocol, and the shadow-counter update
   /// period on every member. Blocking (pumps the simulator).

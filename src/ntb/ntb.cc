@@ -13,6 +13,15 @@ NtbAdapter::NtbAdapter(sim::Simulator* sim, pcie::PcieFabric* local,
       name_(std::move(name)),
       link_(sim, config.bytes_per_sec) {}
 
+void NtbAdapter::SetMetrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  m_wire_bytes_ = registry->GetCounter(prefix + "ntb.wire_bytes");
+  m_payload_bytes_ = registry->GetCounter(prefix + "ntb.payload_bytes");
+  m_packets_ = registry->GetCounter(prefix + "ntb.packets");
+  m_forwards_ = registry->GetCounter(prefix + "ntb.forwards");
+  m_link_busy_us_ = registry->GetGauge(prefix + "ntb.link_busy_us");
+}
+
 Status NtbAdapter::CheckOverlap(uint64_t offset, uint64_t size) const {
   for (const Window& w : windows_) {
     bool disjoint = offset + size <= w.offset || w.offset + w.size <= offset;
@@ -67,12 +76,20 @@ void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
   // One cable transfer regardless of fan-out: the adapter replicates in
   // hardware on the far side of the link.
   uint64_t wire = pcie::WireBytesFor(len, config_.forward_chunk);
+  uint64_t packets = pcie::TlpCountFor(len, config_.forward_chunk);
   forwarded_wire_bytes_ += wire;
   forwarded_payload_bytes_ += len;
-  forwarded_packets_ += pcie::TlpCountFor(len, config_.forward_chunk);
+  forwarded_packets_ += packets;
+  if (m_wire_bytes_) {
+    m_wire_bytes_->Add(wire);
+    m_payload_bytes_->Add(len);
+    m_packets_->Add(packets);
+    m_forwards_->Add();
+  }
 
   std::vector<uint8_t> copy(data, data + len);
   sim::SimTime cable_done = link_.Acquire(wire);
+  if (m_link_busy_us_) m_link_busy_us_->Set(sim::ToUs(link_.busy_time()));
   sim_->ScheduleAt(
       cable_done + config_.hop_latency,
       [members = window->members, window_offset, copy = std::move(copy),

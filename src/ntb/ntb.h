@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "pcie/fabric.h"
 #include "sim/bandwidth_server.h"
 
@@ -63,7 +64,9 @@ class NtbAdapter : public pcie::MmioDevice {
   /// Bytes forwarded across the cable so far (wire bytes incl. overhead) —
   /// the denominator data for Figure 13's bandwidth-share series.
   uint64_t forwarded_wire_bytes() const { return forwarded_wire_bytes_; }
-  uint64_t forwarded_payload_bytes() const { return forwarded_payload_bytes_; }
+  uint64_t forwarded_payload_bytes() const {
+    return forwarded_payload_bytes_;
+  }
   uint64_t forwarded_packets() const { return forwarded_packets_; }
   void ResetStats() {
     forwarded_wire_bytes_ = 0;
@@ -73,6 +76,10 @@ class NtbAdapter : public pcie::MmioDevice {
 
   const NtbConfig& config() const { return config_; }
   sim::BandwidthServer& link() { return link_; }
+
+  /// Register this adapter's metrics under `prefix` + "ntb.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
 
  private:
   struct Window {
@@ -95,6 +102,13 @@ class NtbAdapter : public pcie::MmioDevice {
   uint64_t forwarded_wire_bytes_ = 0;
   uint64_t forwarded_payload_bytes_ = 0;
   uint64_t forwarded_packets_ = 0;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_wire_bytes_ = nullptr;
+  obs::Counter* m_payload_bytes_ = nullptr;
+  obs::Counter* m_packets_ = nullptr;
+  obs::Counter* m_forwards_ = nullptr;
+  obs::Gauge* m_link_busy_us_ = nullptr;
 };
 
 }  // namespace xssd::ntb

@@ -10,6 +10,17 @@ Controller::Controller(sim::Simulator* sim, pcie::PcieFabric* fabric,
                        ftl::Ftl* ftl, std::string name)
     : sim_(sim), fabric_(fabric), ftl_(ftl), name_(std::move(name)) {}
 
+void Controller::SetMetrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  m_doorbells_ = registry->GetCounter(prefix + "nvme.doorbells");
+  m_commands_ = registry->GetCounter(prefix + "nvme.commands");
+  m_completions_ = registry->GetCounter(prefix + "nvme.completions");
+  m_flushes_ = registry->GetCounter(prefix + "nvme.flushes");
+  m_writes_ = registry->GetCounter(prefix + "nvme.writes");
+  m_reads_ = registry->GetCounter(prefix + "nvme.reads");
+  m_cmd_latency_us_ = registry->GetLatency(prefix + "nvme.cmd_latency_us");
+}
+
 Status Controller::ConfigureQueue(uint16_t qid, const QueueConfig& config) {
   if (qid >= kMaxQueues) return Status::InvalidArgument("queue id too large");
   if (config.entries == 0) return Status::InvalidArgument("empty queue");
@@ -59,6 +70,7 @@ void Controller::OnDoorbell(uint16_t qid, uint32_t value) {
                        << qid;
     return;
   }
+  if (m_doorbells_) m_doorbells_->Add();
   QueueState& q = queues_[qid];
   q.sq_tail_shadow = static_cast<uint16_t>(value % q.config.entries);
   FetchNext(qid);
@@ -83,7 +95,14 @@ void Controller::FetchNext(uint16_t qid) {
 }
 
 void Controller::Execute(uint16_t qid, const Command& cmd) {
-  auto done = [this, qid](Completion cpl) { PostCompletion(qid, cpl); };
+  if (m_commands_) m_commands_->Add();
+  sim::SimTime started_at = sim_->Now();
+  auto done = [this, qid, started_at](Completion cpl) {
+    if (m_cmd_latency_us_) {
+      m_cmd_latency_us_->Add(sim::ToUs(sim_->Now() - started_at));
+    }
+    PostCompletion(qid, cpl);
+  };
   if (qid == 0) {
     ExecuteAdmin(qid, cmd, done);
   } else {
@@ -98,6 +117,7 @@ void Controller::ExecuteIo(uint16_t qid, const Command& cmd,
   cpl.cid = cmd.cid;
   switch (static_cast<IoOpcode>(cmd.opcode)) {
     case IoOpcode::kFlush: {
+      if (m_flushes_) m_flushes_->Add();
       ftl_->Flush([cpl, done = std::move(done)](Status status) mutable {
         cpl.status =
             status.ok() ? CmdStatus::kSuccess : CmdStatus::kInternalError;
@@ -106,6 +126,7 @@ void Controller::ExecuteIo(uint16_t qid, const Command& cmd,
       return;
     }
     case IoOpcode::kWrite: {
+      if (m_writes_) m_writes_->Add();
       uint64_t lba = cmd.slba();
       uint32_t blocks = cmd.nlb0() + 1;
       if (lba + blocks > namespace_blocks()) {
@@ -140,6 +161,7 @@ void Controller::ExecuteIo(uint16_t qid, const Command& cmd,
       return;
     }
     case IoOpcode::kRead: {
+      if (m_reads_) m_reads_->Add();
       uint64_t lba = cmd.slba();
       uint32_t blocks = cmd.nlb0() + 1;
       if (lba + blocks > namespace_blocks()) {
@@ -216,6 +238,7 @@ void Controller::ExecuteAdmin(uint16_t qid, const Command& cmd,
 }
 
 void Controller::PostCompletion(uint16_t qid, Completion cpl) {
+  if (m_completions_) m_completions_->Add();
   QueueState& q = queues_[qid];
   cpl.sq_id = qid;
   cpl.sq_head = q.sq_head;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "ftl/ftl.h"
 #include "nvme/command.h"
+#include "obs/metrics.h"
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
 
@@ -75,6 +76,10 @@ class Controller : public pcie::MmioDevice {
   ftl::Ftl* ftl() { return ftl_; }
   const std::string& name() const { return name_; }
 
+  /// Register this controller's metrics under `prefix` + "nvme.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   struct QueueState {
     QueueConfig config;
@@ -104,6 +109,15 @@ class Controller : public pcie::MmioDevice {
   InterruptHandler interrupt_;
   VendorHandler vendor_;
   uint32_t cc_ = 0;  // controller configuration register
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_doorbells_ = nullptr;
+  obs::Counter* m_commands_ = nullptr;
+  obs::Counter* m_completions_ = nullptr;
+  obs::Counter* m_flushes_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_reads_ = nullptr;
+  obs::LatencyRecorder* m_cmd_latency_us_ = nullptr;
 };
 
 }  // namespace xssd::nvme

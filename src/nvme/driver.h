@@ -69,7 +69,9 @@ class Driver {
   uint64_t namespace_blocks() const { return controller_->namespace_blocks(); }
 
   /// Outstanding commands on the I/O queue.
-  uint32_t inflight() const { return static_cast<uint32_t>(outstanding_.size()); }
+  uint32_t inflight() const {
+    return static_cast<uint32_t>(outstanding_.size());
+  }
 
  private:
   struct Pending {

@@ -1,0 +1,297 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xssd::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator (RFC 8259 syntax only).
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Check(std::string* error) {
+    SkipWs();
+    if (!Value()) return Fail(error);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters";
+      return Fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(std::string* error) {
+    if (error != nullptr) {
+      *error = "invalid JSON at byte " + std::to_string(pos_) + ": " +
+               (reason_.empty() ? "syntax error" : reason_);
+    }
+    return false;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Value() {
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        reason_ = "expected object key";
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        reason_ = "expected ':'";
+        return false;
+      }
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return true;
+      reason_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return true;
+      reason_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        reason_ = "unescaped control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        char esc = Peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (!std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              reason_ = "bad \\u escape";
+              return false;
+            }
+          }
+          continue;
+        }
+        if (esc == '"' || esc == '\\' || esc == '/' || esc == 'b' ||
+            esc == 'f' || esc == 'n' || esc == 'r' || esc == 't') {
+          ++pos_;
+          continue;
+        }
+        reason_ = "bad escape";
+        return false;
+      }
+      ++pos_;
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool Digits() {
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    Eat('-');
+    if (Peek() == '0') {
+      ++pos_;  // leading zero may not be followed by more digits
+    } else if (!Digits()) {
+      reason_ = "expected value";
+      return false;
+    }
+    if (Eat('.') && !Digits()) {
+      reason_ = "digits required after '.'";
+      return false;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!Digits()) {
+        reason_ = "digits required in exponent";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool IsValidJson(std::string_view text, std::string* error) {
+  return JsonChecker(text).Check(error);
+}
+
+// ---------------------------------------------------------------------------
+
+void JsonExporter::Write(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry_->counters()) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << JsonNumber(gauge->value());
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"latencies\": {";
+  first = true;
+  for (const auto& [name, rec] : registry_->latencies()) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << rec->count()
+        << ", \"min\": " << JsonNumber(rec->Min())
+        << ", \"mean\": " << JsonNumber(rec->Mean())
+        << ", \"p50\": " << JsonNumber(rec->Percentile(50))
+        << ", \"p90\": " << JsonNumber(rec->Percentile(90))
+        << ", \"p99\": " << JsonNumber(rec->Percentile(99))
+        << ", \"max\": " << JsonNumber(rec->Max()) << "}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+std::string JsonExporter::ToString() const {
+  std::ostringstream out;
+  Write(out);
+  return out.str();
+}
+
+Status JsonExporter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  Write(out);
+  out.flush();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace xssd::obs

@@ -1,0 +1,51 @@
+#ifndef XSSD_OBS_JSON_H_
+#define XSSD_OBS_JSON_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace xssd::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// Render a double as a JSON number: integral values print without a
+/// fraction, everything else with enough digits to round-trip. NaN/inf
+/// (not representable in JSON) degrade to 0.
+std::string JsonNumber(double value);
+
+/// Strict RFC 8259 syntax check (no DOM). Used by the observability tests
+/// to prove exported snapshots and traces are well-formed; `error` (if
+/// non-null) receives a byte offset + reason on failure.
+bool IsValidJson(std::string_view text, std::string* error = nullptr);
+
+/// \brief Snapshots a MetricsRegistry to machine-readable JSON.
+///
+/// Layout (keys sorted, so identical runs produce identical bytes):
+/// {
+///   "counters":  {"cmb.append_bytes": 123, ...},
+///   "gauges":    {"cmb.staging_occupancy": 0, ...},
+///   "latencies": {"nvme.cmd_latency_us": {"count": 9, "min": ..,
+///                 "mean": .., "p50": .., "p90": .., "p99": .., "max": ..}}
+/// }
+class JsonExporter {
+ public:
+  explicit JsonExporter(const MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  void Write(std::ostream& out) const;
+  std::string ToString() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  const MetricsRegistry* registry_;
+};
+
+}  // namespace xssd::obs
+
+#endif  // XSSD_OBS_JSON_H_

@@ -1,0 +1,67 @@
+#include "obs/metrics.h"
+
+#include "common/logging.h"
+
+namespace xssd::obs {
+
+namespace {
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+}  // namespace
+
+void MetricsRegistry::CheckName(const std::string& name, Kind kind) {
+  XSSD_CHECK(!name.empty());
+  XSSD_CHECK(name.front() != '.' && name.back() != '.');
+  for (char c : name) XSSD_CHECK(ValidNameChar(c));
+  auto [it, inserted] = kinds_.emplace(name, kind);
+  // One kind per name: re-registering `cmb.credit` as a counter after it
+  // was a gauge would silently fork the metric.
+  XSSD_CHECK(it->second == kind);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  CheckName(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  CheckName(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyRecorder* MetricsRegistry::GetLatency(const std::string& name) {
+  CheckName(name, Kind::kLatency);
+  auto& slot = latencies_[name];
+  if (!slot) slot = std::make_unique<LatencyRecorder>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyRecorder* MetricsRegistry::FindLatency(
+    const std::string& name) const {
+  auto it = latencies_.find(name);
+  return it == latencies_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, recorder] : latencies_) recorder->Clear();
+}
+
+}  // namespace xssd::obs

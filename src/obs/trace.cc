@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace xssd::obs {
+
+namespace {
+/// Chrome trace timestamps are microseconds; print with ns resolution.
+std::string TraceTs(sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(ChromeTraceOptions options)
+    : options_(options) {
+  process_names_.push_back("sim");
+}
+
+uint32_t ChromeTraceWriter::BeginProcess(const std::string& name) {
+  process_names_.push_back(name);
+  pid_ = static_cast<uint32_t>(process_names_.size() - 1);
+  return pid_;
+}
+
+void ChromeTraceWriter::Push(Event event) {
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::OnEventScheduled(sim::SimTime now, sim::SimTime when,
+                                         uint64_t seq) {
+  (void)when;
+  if (!options_.emit_flow) return;
+  Push(Event{'s', pid_, now, seq, "dispatch"});
+}
+
+void ChromeTraceWriter::OnEventBegin(sim::SimTime when, uint64_t seq) {
+  if (options_.emit_flow) Push(Event{'f', pid_, when, seq, "dispatch"});
+  if (options_.emit_fired) Push(Event{'X', pid_, when, seq, "event"});
+}
+
+void ChromeTraceWriter::OnEventEnd(sim::SimTime when, uint64_t seq) {
+  // Virtual events are instantaneous; the complete event was emitted at
+  // Begin with zero duration.
+  (void)when;
+  (void)seq;
+}
+
+void ChromeTraceWriter::OnInstant(const char* name, sim::SimTime when) {
+  Push(Event{'i', pid_, when, 0, name});
+}
+
+void ChromeTraceWriter::OnCounterSample(const char* name, sim::SimTime when,
+                                        double value) {
+  Event event{'C', pid_, when, 0, name};
+  event.value = value;
+  Push(event);
+}
+
+void ChromeTraceWriter::Write(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (size_t pid = 0; pid < process_names_.size(); ++pid) {
+    out << (first ? "\n" : ",\n")
+        << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"tid\": 0, \"args\": {\"name\": \""
+        << JsonEscape(process_names_[pid]) << "\"}}";
+    first = false;
+  }
+  for (const Event& event : events_) {
+    out << ",\n {\"name\": \"" << JsonEscape(event.name) << "\", \"ph\": \""
+        << event.phase << "\", \"pid\": " << event.pid
+        << ", \"tid\": 0, \"ts\": " << TraceTs(event.ts);
+    switch (event.phase) {
+      case 'X':
+        out << ", \"dur\": 0, \"args\": {\"seq\": " << event.id << "}";
+        break;
+      case 'i':
+        out << ", \"s\": \"p\"";
+        break;
+      case 'C':
+        out << ", \"args\": {\"value\": " << JsonNumber(event.value) << "}";
+        break;
+      case 's':
+      case 'f':
+        out << ", \"cat\": \"sim\", \"id\": " << event.id;
+        if (event.phase == 'f') out << ", \"bp\": \"e\"";
+        break;
+      default:
+        break;
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ns\", \"droppedEvents\": " << dropped_
+      << "}\n";
+}
+
+std::string ChromeTraceWriter::ToString() const {
+  std::ostringstream out;
+  Write(out);
+  return out.str();
+}
+
+Status ChromeTraceWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  Write(out);
+  out.flush();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace xssd::obs

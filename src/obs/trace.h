@@ -1,0 +1,113 @@
+#ifndef XSSD_OBS_TRACE_H_
+#define XSSD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/time.h"
+
+namespace xssd::obs {
+
+/// \brief Receiver of simulator-level trace events.
+///
+/// Attached to a sim::Simulator via set_trace_sink(); the simulator calls
+/// the hooks with *virtual* timestamps as events are scheduled and fired.
+/// Instrumented components (and benches/tests) may additionally emit named
+/// instants and counter samples through the same sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// An event was placed on the queue at virtual time `now`, to fire at
+  /// `when`. `seq` is the simulator's global FIFO tie-breaker — unique per
+  /// event, so scheduled/fired pairs can be correlated.
+  virtual void OnEventScheduled(sim::SimTime now, sim::SimTime when,
+                                uint64_t seq) = 0;
+
+  /// Event `seq` is about to run at virtual time `when`.
+  virtual void OnEventBegin(sim::SimTime when, uint64_t seq) = 0;
+
+  /// Event `seq` finished running (virtual duration is always zero; the
+  /// hook exists so sinks can bracket the callback).
+  virtual void OnEventEnd(sim::SimTime when, uint64_t seq) = 0;
+
+  /// A named point-in-time marker (component instrumentation).
+  virtual void OnInstant(const char* name, sim::SimTime when) = 0;
+
+  /// A sample of a named counter series (renders as a stacked chart in the
+  /// trace viewer).
+  virtual void OnCounterSample(const char* name, sim::SimTime when,
+                               double value) = 0;
+};
+
+/// ChromeTraceWriter knobs.
+struct ChromeTraceOptions {
+  /// Recording stops (events are counted as dropped) past this many
+  /// buffered events, so a long run cannot OOM the host.
+  size_t max_events = 1u << 20;
+  /// Emit one zero-duration complete event per fired simulator event.
+  bool emit_fired = true;
+  /// Also emit flow arrows from schedule site to fire site (doubles the
+  /// event count; off by default).
+  bool emit_flow = false;
+};
+
+/// \brief TraceSink emitting Chrome `trace_event`-format JSON.
+///
+/// The output is the standard "JSON object format"
+/// ({"traceEvents": [...], "displayTimeUnit": "ns"}) and loads directly in
+/// chrome://tracing or https://ui.perfetto.dev. Virtual nanoseconds map to
+/// trace microseconds with a fractional part, so viewer timestamps read in
+/// simulated time.
+class ChromeTraceWriter : public TraceSink {
+ public:
+  explicit ChromeTraceWriter(ChromeTraceOptions options = {});
+
+  /// Start a new logical process group: subsequent events carry the
+  /// returned pid, and the final JSON names it `name` (one simulation run
+  /// per process group keeps multi-run bench traces separable).
+  uint32_t BeginProcess(const std::string& name);
+
+  // TraceSink
+  void OnEventScheduled(sim::SimTime now, sim::SimTime when,
+                        uint64_t seq) override;
+  void OnEventBegin(sim::SimTime when, uint64_t seq) override;
+  void OnEventEnd(sim::SimTime when, uint64_t seq) override;
+  void OnInstant(const char* name, sim::SimTime when) override;
+  void OnCounterSample(const char* name, sim::SimTime when,
+                       double value) override;
+
+  size_t event_count() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+  /// Write the complete, well-formed JSON document.
+  void Write(std::ostream& out) const;
+  std::string ToString() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;         // 'X', 'i', 'C', 's', 'f'
+    uint32_t pid;
+    sim::SimTime ts;
+    uint64_t id;        // flow id (phase 's'/'f')
+    std::string name;
+    double value = 0;   // counter sample (phase 'C')
+  };
+
+  /// Append if the buffer cap allows; otherwise count a drop.
+  void Push(Event event);
+
+  ChromeTraceOptions options_;
+  std::vector<Event> events_;
+  std::vector<std::string> process_names_;
+  uint32_t pid_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace xssd::obs
+
+#endif  // XSSD_OBS_TRACE_H_

@@ -34,6 +34,19 @@ PcieFabric::PcieFabric(sim::Simulator* sim, FabricConfig config,
       host_memory_port_(sim, config.host_memory_bytes_per_sec),
       host_memory_(config.host_memory_bytes, 0) {}
 
+void PcieFabric::SetMetrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  m_host_write_bytes_ =
+      registry->GetCounter(prefix + "pcie.host_write_bytes");
+  m_peer_write_bytes_ =
+      registry->GetCounter(prefix + "pcie.peer_write_bytes");
+  m_host_read_bytes_ = registry->GetCounter(prefix + "pcie.host_read_bytes");
+  m_dma_to_host_bytes_ =
+      registry->GetCounter(prefix + "pcie.dma_to_host_bytes");
+  m_dma_from_host_bytes_ =
+      registry->GetCounter(prefix + "pcie.dma_from_host_bytes");
+}
+
 Status PcieFabric::AddMmioRegion(uint64_t base, uint64_t size,
                                  MmioDevice* device,
                                  std::string region_name) {
@@ -80,11 +93,13 @@ void PcieFabric::RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
 
 void PcieFabric::HostWrite(uint64_t addr, const uint8_t* data, size_t len,
                            uint32_t chunk, sim::Simulator::Callback posted) {
+  if (m_host_write_bytes_) m_host_write_bytes_->Add(len);
   RoutedWrite(downstream_, addr, data, len, chunk, std::move(posted));
 }
 
 void PcieFabric::PeerWrite(uint64_t addr, const uint8_t* data, size_t len,
                            uint32_t chunk, sim::Simulator::Callback posted) {
+  if (m_peer_write_bytes_) m_peer_write_bytes_->Add(len);
   RoutedWrite(peer_, addr, data, len, chunk, std::move(posted));
 }
 
@@ -93,6 +108,7 @@ void PcieFabric::HostRead(uint64_t addr, size_t len,
   const Region* region = FindRegion(addr);
   XSSD_CHECK(region != nullptr);
   XSSD_CHECK(addr + len <= region->base + region->size);
+  if (m_host_read_bytes_) m_host_read_bytes_->Add(len);
 
   // Request TLP downstream.
   sim::SimTime req_done = downstream_.Acquire(kTlpOverheadBytes);
@@ -106,17 +122,20 @@ void PcieFabric::HostRead(uint64_t addr, size_t len,
     // then the completion travels upstream.
     std::vector<uint8_t> data(len, 0);
     device->OnMmioRead(offset, data.data(), len);
-    sim::SimTime cpl_done = upstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
-    sim_->ScheduleAt(cpl_done + config_.propagation,
-                     [data = std::move(data), done = std::move(done)]() mutable {
-                       done(std::move(data));
-                     });
+    sim::SimTime cpl_done =
+        upstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
+    sim_->ScheduleAt(
+        cpl_done + config_.propagation,
+        [data = std::move(data), done = std::move(done)]() mutable {
+          done(std::move(data));
+        });
   });
 }
 
 void PcieFabric::DmaToHost(uint64_t host_addr, const uint8_t* data, size_t len,
                            sim::Simulator::Callback done) {
   XSSD_CHECK(host_addr + len <= host_memory_.size());
+  if (m_dma_to_host_bytes_) m_dma_to_host_bytes_->Add(len);
   std::vector<uint8_t> copy(data, data + len);
   sim::SimTime link_done =
       upstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
@@ -130,6 +149,7 @@ void PcieFabric::DmaToHost(uint64_t host_addr, const uint8_t* data, size_t len,
 void PcieFabric::DmaFromHost(uint64_t host_addr, size_t len,
                              std::function<void(std::vector<uint8_t>)> done) {
   XSSD_CHECK(host_addr + len <= host_memory_.size());
+  if (m_dma_from_host_bytes_) m_dma_from_host_bytes_->Add(len);
   // Read request downstream is negligible; charge memory port + upstream
   // completion stream.
   sim::SimTime mem_done = host_memory_port_.Acquire(len);
@@ -139,10 +159,11 @@ void PcieFabric::DmaFromHost(uint64_t host_addr, size_t len,
                               host_memory_.begin() + host_addr + len);
     sim::SimTime link_done =
         downstream_.Acquire(WireBytesFor(len, kMaxPayloadBytes));
-    sim_->ScheduleAt(link_done + config_.propagation,
-                     [data = std::move(data), done = std::move(done)]() mutable {
-                       done(std::move(data));
-                     });
+    sim_->ScheduleAt(
+        link_done + config_.propagation,
+        [data = std::move(data), done = std::move(done)]() mutable {
+          done(std::move(data));
+        });
   });
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "pcie/tlp.h"
 #include "sim/bandwidth_server.h"
 #include "sim/simulator.h"
@@ -113,6 +114,10 @@ class PcieFabric {
   sim::BandwidthServer& upstream() { return upstream_; }
   sim::BandwidthServer& peer() { return peer_; }
 
+  /// Register this fabric's metrics under `prefix` + "pcie.".
+  void SetMetrics(obs::MetricsRegistry* registry,
+                  const std::string& prefix = "");
+
  private:
   struct Region {
     uint64_t base;
@@ -141,6 +146,13 @@ class PcieFabric {
 
   std::vector<Region> regions_;
   std::vector<uint8_t> host_memory_;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* m_host_write_bytes_ = nullptr;
+  obs::Counter* m_peer_write_bytes_ = nullptr;
+  obs::Counter* m_host_read_bytes_ = nullptr;
+  obs::Counter* m_dma_to_host_bytes_ = nullptr;
+  obs::Counter* m_dma_from_host_bytes_ = nullptr;
 };
 
 }  // namespace xssd::pcie

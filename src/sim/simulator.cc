@@ -1,12 +1,15 @@
 #include "sim/simulator.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace xssd::sim {
 
 void Simulator::ScheduleAt(SimTime when, Callback fn) {
   XSSD_CHECK(when >= now_);
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  uint64_t seq = next_seq_++;
+  if (trace_) trace_->OnEventScheduled(now_, when, seq);
+  queue_.push(Event{when, seq, std::move(fn)});
 }
 
 void Simulator::Step() {
@@ -16,7 +19,9 @@ void Simulator::Step() {
   queue_.pop();
   now_ = ev.when;
   ++executed_;
+  if (trace_) trace_->OnEventBegin(ev.when, ev.seq);
   ev.fn();
+  if (trace_) trace_->OnEventEnd(ev.when, ev.seq);
 }
 
 void Simulator::Run() {

@@ -8,6 +8,10 @@
 
 #include "sim/time.h"
 
+namespace xssd::obs {
+class TraceSink;
+}  // namespace xssd::obs
+
 namespace xssd::sim {
 
 /// \brief Discrete-event simulation core: a virtual clock plus an ordered
@@ -32,7 +36,9 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedule `fn` to run `delay` nanoseconds from now.
-  void Schedule(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+  void Schedule(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   /// Schedule `fn` at an absolute virtual time (>= Now()).
   void ScheduleAt(SimTime when, Callback fn);
@@ -58,6 +64,12 @@ class Simulator {
   size_t pending_events() const { return queue_.size(); }
   uint64_t executed_events() const { return executed_; }
 
+  /// Attach an observability sink (nullptr detaches). The simulator calls
+  /// it on every schedule/fire with virtual timestamps; see obs/trace.h.
+  /// Not owned; must outlive the simulator or be detached first.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
  private:
   struct Event {
     SimTime when;
@@ -78,6 +90,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   bool stopped_ = false;
+  obs::TraceSink* trace_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

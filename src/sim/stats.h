@@ -19,14 +19,18 @@ class LatencyRecorder {
  public:
   void Add(double sample) {
     samples_.push_back(sample);
-    sorted_ = false;
+    ++version_;
   }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
-  double Min() const { return empty() ? 0 : *std::min_element(samples_.begin(), samples_.end()); }
-  double Max() const { return empty() ? 0 : *std::max_element(samples_.begin(), samples_.end()); }
+  double Min() const {
+    return empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double Max() const {
+    return empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  }
 
   double Mean() const {
     if (empty()) return 0;
@@ -57,19 +61,25 @@ class LatencyRecorder {
 
   void Clear() {
     samples_.clear();
-    sorted_ = false;
+    ++version_;
   }
 
  private:
+  /// The sort cache is keyed by a mutation version rather than a boolean:
+  /// every mutation unconditionally bumps `version_`, so an interleaving of
+  /// Add()/Clear() with Percentile() can never leave the cache marked clean
+  /// while the samples have changed (the failure mode of the old
+  /// set-and-forget `sorted_` flag).
   void EnsureSorted() const {
-    if (!sorted_) {
+    if (sorted_version_ != version_) {
       std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
+      sorted_version_ = version_;
     }
   }
 
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  uint64_t version_ = 0;
+  mutable uint64_t sorted_version_ = 0;
 };
 
 /// \brief Event counter with rate helper.

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/json.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace xssd::obs {
+namespace {
+
+TEST(IsValidJson, AcceptsAndRejectsTheObviousCases) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("[1, 2.5, -3e2, \"s\", true, false, null]"));
+  EXPECT_TRUE(IsValidJson("{\"a\": {\"b\": [\"\\u00e9\", \"\\n\"]}}"));
+  std::string error;
+  EXPECT_FALSE(IsValidJson("{", &error));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1,}", &error));
+  EXPECT_FALSE(IsValidJson("[1 2]", &error));
+  EXPECT_FALSE(IsValidJson("01", &error));
+  EXPECT_FALSE(IsValidJson("\"unterminated", &error));
+  EXPECT_FALSE(IsValidJson("{} trailing", &error));
+  EXPECT_NE(error.find("invalid JSON"), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, EmptyTraceIsValidJson) {
+  ChromeTraceWriter writer;
+  std::string text = writer.ToString();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(text, &error)) << error;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, RecordsSimulatorEventsAsValidJson) {
+  sim::Simulator sim;
+  ChromeTraceWriter writer;
+  writer.BeginProcess("run-a");
+  sim.set_trace_sink(&writer);
+
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    sim.Schedule(sim::Us(i), [&] { ++fired; });
+  }
+  sim.Run();
+  sim.set_trace_sink(nullptr);
+
+  EXPECT_EQ(fired, 20);
+  // Default options: one complete ('X') event per fired simulator event.
+  EXPECT_EQ(writer.event_count(), 20u);
+  EXPECT_EQ(writer.dropped(), 0u);
+
+  std::string text = writer.ToString();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(text, &error)) << error;
+  EXPECT_NE(text.find("\"run-a\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, ProcessGroupsSeparateRuns) {
+  ChromeTraceWriter writer;
+  uint32_t pid_a = writer.BeginProcess("first-run");
+  uint32_t pid_b = writer.BeginProcess("second-run");
+  EXPECT_NE(pid_a, pid_b);
+  std::string text = writer.ToString();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(text, &error)) << error;
+  EXPECT_NE(text.find("\"first-run\""), std::string::npos);
+  EXPECT_NE(text.find("\"second-run\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, InstantAndCounterSamplesAreRecorded) {
+  ChromeTraceWriter writer;
+  writer.BeginProcess("markers");
+  writer.OnInstant("gc.start", sim::Us(5));
+  writer.OnCounterSample("queue_depth", sim::Us(6), 3.5);
+  std::string text = writer.ToString();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(text, &error)) << error;
+  EXPECT_NE(text.find("\"gc.start\""), std::string::npos);
+  EXPECT_NE(text.find("\"queue_depth\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, NamesNeedingEscapesStayWellFormed) {
+  ChromeTraceWriter writer;
+  writer.BeginProcess("quote\"back\\slash\nnewline");
+  writer.OnInstant("tab\there", 0);
+  std::string text = writer.ToString();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(text, &error)) << error;
+}
+
+TEST(ChromeTraceWriter, CapsBufferAndCountsDrops) {
+  ChromeTraceOptions options;
+  options.max_events = 8;
+  ChromeTraceWriter writer(options);
+  writer.BeginProcess("capped");
+
+  sim::Simulator sim;
+  sim.set_trace_sink(&writer);
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(sim::Us(i), [] {});
+  }
+  sim.Run();
+  sim.set_trace_sink(nullptr);
+
+  EXPECT_LE(writer.event_count(), 8u);
+  EXPECT_GT(writer.dropped(), 0u);
+  // A truncated recording still renders a loadable document.
+  std::string text = writer.ToString();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(text, &error)) << error;
+}
+
+TEST(ChromeTraceWriter, WriteFileRoundTrips) {
+  ChromeTraceWriter writer;
+  writer.BeginProcess("file-run");
+  writer.OnInstant("marker", sim::Us(1));
+  std::string path = ::testing::TempDir() + "/xssd_trace_test.json";
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string error;
+  EXPECT_TRUE(IsValidJson(text, &error)) << error;
+  EXPECT_NE(text.find("\"file-run\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xssd::obs

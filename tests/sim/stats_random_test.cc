@@ -43,6 +43,59 @@ TEST(LatencyRecorder, AddAfterPercentileStillCorrect) {
   EXPECT_NEAR(recorder.Percentile(100), 20, 1e-9);
 }
 
+// Naive percentile over an unsorted copy, using the recorder's
+// interpolation formula — the reference for the cache-invalidation test.
+double NaivePercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+// Regression for the stale sort cache: the old boolean `sorted_` flag was
+// never cleared by Add()/Clear(), so any Percentile() after a Percentile()
+// and a mutation consulted a stale order. Interleave mutations and queries
+// randomly and compare every answer against the naive reference.
+TEST(LatencyRecorder, RandomInterleavedMutationAndQuery) {
+  Rng rng(77);
+  LatencyRecorder recorder;
+  std::vector<double> reference;
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t action = rng.Uniform(10);
+    if (action < 6) {
+      double v = rng.NextDouble() * 1000.0;
+      recorder.Add(v);
+      reference.push_back(v);
+    } else if (action < 9) {
+      double p = static_cast<double>(rng.Uniform(101));
+      ASSERT_NEAR(recorder.Percentile(p), NaivePercentile(reference, p),
+                  1e-9)
+          << "step " << step << " p" << p;
+    } else if (rng.Uniform(20) == 0) {
+      recorder.Clear();
+      reference.clear();
+    }
+  }
+}
+
+// The precise failure mode of the old flag: query (caches the sort), add an
+// element smaller than the minimum, query again.
+TEST(LatencyRecorder, SortCacheInvalidatedByAdd) {
+  LatencyRecorder recorder;
+  recorder.Add(50);
+  recorder.Add(60);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 50.0);
+  recorder.Add(10);  // must invalidate the cached order
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(100), 60.0);
+  recorder.Clear();
+  recorder.Add(7);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(50), 7.0);
+}
+
 TEST(LatencyRecorder, CandlestickOrdering) {
   LatencyRecorder recorder;
   Rng rng(3);
