@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace xssd::core {
 
@@ -89,7 +90,19 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
   });
 }
 
+void CmbModule::SetFaultInjector(fault::FaultInjector* injector,
+                                 std::string site_prefix) {
+  injector_ = injector;
+  site_prefix_ = std::move(site_prefix);
+}
+
 void CmbModule::Persist(uint64_t stream_offset, std::vector<uint8_t> data) {
+  if (injector_ != nullptr &&
+      injector_->CrashPoint(site_prefix_ + "cmb.persist")) {
+    // The crash handler ran inside CrashPoint; this chunk was already off
+    // the staging queue and dies here, leaving a gap above the credit.
+    return;
+  }
   uint64_t ring_at = stream_offset % config_.ring_bytes;
   size_t first = static_cast<size_t>(
       std::min<uint64_t>(data.size(), config_.ring_bytes - ring_at));
@@ -150,6 +163,15 @@ void CmbModule::DrainStagingForPowerLoss() {
     staging_bytes_ -= chunk.data.size();
     Persist(chunk.stream_offset, std::move(chunk.data));
   }
+  if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
+}
+
+void CmbModule::AbandonStagingForCrash() {
+  // No supercap flush: queued chunks never reach backing memory. The PM
+  // ring and credit keep whatever had persisted before the crash.
+  ++drain_epoch_;
+  staging_.clear();
+  staging_bytes_ = 0;
   if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
 }
 

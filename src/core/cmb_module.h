@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -11,6 +12,10 @@
 #include "sim/bandwidth_server.h"
 #include "sim/interval_set.h"
 #include "sim/simulator.h"
+
+namespace xssd::fault {
+class FaultInjector;
+}  // namespace xssd::fault
 
 namespace xssd::core {
 
@@ -82,6 +87,18 @@ class CmbModule {
   /// including over chunks that were still queued.
   void DrainStagingForPowerLoss();
 
+  /// Hard-crash variant: the supercap flush never happens. Staged chunks
+  /// are dropped on the floor; whatever already reached the PM ring (and
+  /// only that) survives into recovery.
+  void AbandonStagingForCrash();
+
+  /// Attach a fault injector (nullptr detaches). Crash site "cmb.persist"
+  /// fires at the head of Persist(), losing the chunk being persisted —
+  /// the in-flight-byte gap the credit contract promises to fence off.
+  /// `site_prefix` (e.g. "pri/") namespaces the site per device.
+  void SetFaultInjector(fault::FaultInjector* injector,
+                        std::string site_prefix);
+
   /// Reset to a pristine fast side (reboot after destage). The stream
   /// restarts at offset 0 in a new epoch.
   void ResetForReboot();
@@ -133,6 +150,8 @@ class CmbModule {
 
   CreditHook credit_hook_;
   ArrivalHook arrival_hook_;
+  fault::FaultInjector* injector_ = nullptr;
+  std::string site_prefix_;
 
   // Observability (null until SetMetrics; hot paths test one pointer).
   obs::Counter* m_append_bytes_ = nullptr;

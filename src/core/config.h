@@ -51,6 +51,12 @@ struct DestageConfig {
   sim::SimTime latency_threshold = sim::Us(500);
   /// Maximum concurrent destage programs (pipeline depth across dies).
   uint32_t max_inflight = 32;
+  /// Re-issue attempts when a destage page write fails even after the
+  /// FTL's own bad-block retries. Retries reuse the same sequence number
+  /// and ring slot so the recovery chain walk is unaffected.
+  uint32_t max_write_retries = 4;
+  /// Backoff before re-issuing a failed destage write; doubles per attempt.
+  sim::SimTime retry_backoff = sim::Us(50);
 };
 
 /// Device role in a replication group (§4.2).
@@ -76,6 +82,21 @@ struct TransportConfig {
   /// A shadow counter lagging the local credit for longer than this while
   /// traffic is outstanding raises the stalled bit in the status register.
   sim::SimTime stall_timeout = sim::Ms(10);
+  /// Retransmit timer: when a shadow counter has made no progress for this
+  /// long while lagging, the primary re-mirrors the missing ring bytes.
+  /// Doubles per silent round up to retransmit_backoff_max. 0 disables
+  /// (the paper's prototype behaviour; fault-tolerant setups opt in).
+  sim::SimTime retransmit_timeout = 0;
+  sim::SimTime retransmit_backoff_max = sim::Ms(5);
+  /// TLP payload granularity of retransmitted ring bytes.
+  uint32_t retransmit_chunk = 4096;
+  /// After this long without any shadow progress the primary enters
+  /// degraded mode: credit falls back to the local counter (logging
+  /// continues un-replicated) until the lagging peers catch back up.
+  /// 0 disables degraded mode (the paper's strict eager behaviour). The
+  /// watchdog rides the retransmit timer, so this requires
+  /// retransmit_timeout > 0.
+  sim::SimTime degrade_timeout = 0;
 };
 
 /// \brief Power-loss protection model: supercapacitors hold the device up

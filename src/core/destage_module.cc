@@ -1,6 +1,7 @@
 #include "core/destage_module.h"
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace xssd::core {
 
@@ -20,6 +21,7 @@ void DestageModule::SetMetrics(obs::MetricsRegistry* registry,
   m_filler_bytes_ = registry->GetCounter(prefix + "destage.filler_bytes");
   m_stream_bytes_ = registry->GetCounter(prefix + "destage.stream_bytes");
   m_write_failures_ = registry->GetCounter(prefix + "destage.write_failures");
+  m_write_retries_ = registry->GetCounter(prefix + "destage.write_retries");
   m_inflight_ = registry->GetGauge(prefix + "destage.inflight");
   m_backlog_bytes_ = registry->GetGauge(prefix + "destage.backlog_bytes");
   m_page_latency_us_ =
@@ -46,9 +48,18 @@ void DestageModule::SetBarrier(uint64_t stream_offset) {
   Pump();
 }
 
+void DestageModule::SetFaultInjector(fault::FaultInjector* injector,
+                                     std::string site_prefix) {
+  injector_ = injector;
+  site_prefix_ = std::move(site_prefix);
+}
+
 void DestageModule::Pump() {
   if (frozen_) return;
   while (inflight_ < config_.max_inflight) {
+    // Re-checked inside the loop: a crash point firing in EmitPage may
+    // freeze the module from under us.
+    if (frozen_) return;
     uint64_t limit = std::min(credit_seen_, barrier_);
     uint64_t pending = limit > destage_cursor_ ? limit - destage_cursor_ : 0;
     if (pending == 0) return;
@@ -80,6 +91,12 @@ void DestageModule::ArmTimer() {
 
 void DestageModule::EmitPage(uint32_t len) {
   XSSD_CHECK(len > 0 && len <= Capacity());
+  if (injector_ != nullptr &&
+      injector_->CrashPoint(site_prefix_ + "destage.emit_page")) {
+    // Crash before the page exists: the extent stays pending, so a
+    // graceful shutdown's emergency destage will pick it up again.
+    return;
+  }
   DestagePageHeader header;
   header.sequence = next_sequence_;
   header.stream_offset = destage_cursor_;
@@ -113,20 +130,58 @@ void DestageModule::EmitPage(uint32_t len) {
         std::min(credit_seen_, barrier_) - destage_cursor_));
   }
   sim::SimTime issued_at = sim_->Now();
+  IssuePage(lba, std::move(page), begin, end, len, issued_at, /*attempt=*/0);
+}
 
+void DestageModule::IssuePage(uint64_t lba, std::vector<uint8_t> page,
+                              uint64_t begin, uint64_t end, uint32_t len,
+                              sim::SimTime issued_at, uint32_t attempt) {
+  // The FTL consumes its argument; keep the original for a potential
+  // re-issue after a failed program.
+  std::vector<uint8_t> copy = page;
   ftl_->WriteDirect(
-      ftl::IoClass::kDestage, lba, std::move(page),
-      [this, begin, end, len, issued_at](Status status) {
-        --inflight_;
-        if (m_inflight_) m_inflight_->Set(inflight_);
+      ftl::IoClass::kDestage, lba, std::move(copy),
+      [this, lba, page = std::move(page), begin, end, len, issued_at,
+       attempt](Status status) mutable {
         if (!status.ok()) {
           if (m_write_failures_) m_write_failures_->Add();
-          // FTL already retried grown-bad blocks; anything surfacing here
-          // is fatal for the extent. Keep the counter honest: destaged_
-          // will simply never cross the hole.
+          if (attempt < config_.max_write_retries) {
+            // Retry the same extent into the same ring slot after a
+            // doubling backoff. The inflight_ slot stays held so the
+            // power-loss drain waits for the outcome.
+            ++stats_.write_retries;
+            if (m_write_retries_) m_write_retries_->Add();
+            sim::SimTime backoff = config_.retry_backoff << attempt;
+            sim_->Schedule(backoff, [this, lba, page = std::move(page), begin,
+                                     end, len, issued_at, attempt]() mutable {
+              if (halted_) {
+                // Hard crash while backing off: the device is gone; the
+                // write never happens.
+                --inflight_;
+                if (m_inflight_) m_inflight_->Set(inflight_);
+                return;
+              }
+              IssuePage(lba, std::move(page), begin, end, len, issued_at,
+                        attempt + 1);
+            });
+            return;
+          }
+          --inflight_;
+          if (m_inflight_) m_inflight_->Set(inflight_);
+          // FTL bad-block retries and our own re-issues are exhausted;
+          // the extent is lost. Keep the counter honest: destaged_ will
+          // simply never cross the hole.
           XSSD_LOG(kError) << "destage write failed permanently: "
                            << status.ToString();
           Pump();
+          return;
+        }
+        --inflight_;
+        if (m_inflight_) m_inflight_->Set(inflight_);
+        if (injector_ != nullptr &&
+            injector_->CrashPoint(site_prefix_ + "destage.page_complete")) {
+          // The page is durable in flash but the progress accounting dies
+          // with the crash — recovery must find it via the chain walk.
           return;
         }
         ++stats_.pages_written;
@@ -171,7 +226,11 @@ void DestageModule::DestageAllForPowerLoss(uint32_t page_budget,
            done = std::move(done), poll]() mutable {
     bool budget_left =
         stats_.pages_written - pages_before + inflight_ < page_budget;
-    bool drained = destaged_ >= credit_seen_ && inflight_ == 0;
+    // Also done when everything was issued and nothing is in flight —
+    // destaged_ can be pinned below credit when completion accounting was
+    // lost to a crash point, and no further progress is possible then.
+    bool drained = inflight_ == 0 && (destaged_ >= credit_seen_ ||
+                                      destage_cursor_ >= credit_seen_);
     if (drained || !budget_left) {
       if (!budget_left) {
         XSSD_LOG(kWarning) << "supercap budget exhausted during power-loss "

@@ -19,6 +19,7 @@ struct DestageStats {
   uint64_t partial_pages = 0;     ///< pages cut short by latency threshold
   uint64_t filler_bytes = 0;
   uint64_t stream_bytes = 0;      ///< payload destaged
+  uint64_t write_retries = 0;     ///< re-issues after a failed page write
 };
 
 /// \brief The Destage module (paper §4.3): moves the PM ring's persisted
@@ -66,11 +67,26 @@ class DestageModule {
   /// background loop).
   void set_frozen(bool frozen) { frozen_ = frozen; }
 
+  /// Hard crash: freeze permanently and cancel pending write retries (a
+  /// halted device issues no more flash traffic). Unlike set_frozen this
+  /// is not undone by the power-loss destage path.
+  void HaltForCrash() {
+    frozen_ = true;
+    halted_ = true;
+  }
+
   const DestageStats& stats() const { return stats_; }
 
   /// Register this module's metrics under `prefix` + "destage.".
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
+
+  /// Attach a fault injector (nullptr detaches). Crash sites:
+  /// "destage.emit_page" (before a page is built/issued) and
+  /// "destage.page_complete" (page durable in flash, progress accounting
+  /// lost). `site_prefix` (e.g. "pri/") namespaces the sites per device.
+  void SetFaultInjector(fault::FaultInjector* injector,
+                        std::string site_prefix);
 
  private:
   /// Payload capacity of one destage page.
@@ -84,6 +100,14 @@ class DestageModule {
 
   /// Emit one page covering [destage_cursor_, destage_cursor_ + len).
   void EmitPage(uint32_t len);
+
+  /// Issue (or re-issue) a built page to the FTL. Retries keep the same
+  /// sequence number and ring slot — the recovery chain walk depends on
+  /// consecutive sequences with chaining stream offsets, so a retried page
+  /// must land exactly where the failed attempt would have.
+  void IssuePage(uint64_t lba, std::vector<uint8_t> page, uint64_t begin,
+                 uint64_t end, uint32_t len, sim::SimTime issued_at,
+                 uint32_t attempt);
 
   void ArmTimer();
 
@@ -101,7 +125,10 @@ class DestageModule {
   uint32_t inflight_ = 0;
   bool timer_armed_ = false;
   bool frozen_ = false;
+  bool halted_ = false;  ///< hard crash: no further flash traffic
   sim::SimTime oldest_pending_since_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  std::string site_prefix_;
 
   // Completion reordering: pages finish out of order across dies; destaged_
   // advances over the contiguous prefix of completed stream extents.
@@ -115,6 +142,7 @@ class DestageModule {
   obs::Counter* m_filler_bytes_ = nullptr;
   obs::Counter* m_stream_bytes_ = nullptr;
   obs::Counter* m_write_failures_ = nullptr;
+  obs::Counter* m_write_retries_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Gauge* m_backlog_bytes_ = nullptr;
   obs::LatencyRecorder* m_page_latency_us_ = nullptr;

@@ -49,6 +49,9 @@ struct StatusBits {
   static constexpr uint64_t kPeerCountMask = 0xF << 2;
   static constexpr uint64_t kReplicationStalled = 1ull << 8;
   static constexpr uint64_t kHalted = 1ull << 9;
+  /// Primary is logging un-replicated (all lagging peers written off until
+  /// they catch up); see TransportConfig::degrade_timeout.
+  static constexpr uint64_t kDegraded = 1ull << 10;
 };
 
 }  // namespace xssd::core

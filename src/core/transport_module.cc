@@ -16,6 +16,11 @@ TransportModule::TransportModule(sim::Simulator* sim,
 void TransportModule::SetRole(Role role) {
   role_ = role;
   ++timer_generation_;  // cancel any running secondary timer
+  ++rt_generation_;     // and any pending retransmit timer
+  rt_armed_ = false;
+  current_rto_ = config_.retransmit_timeout;
+  degraded_ = false;
+  if (m_degraded_) m_degraded_->Set(0);
   if (role_ == Role::kSecondary) {
     uint64_t generation = timer_generation_;
     sim_->Schedule(config_.update_period, [this, generation]() {
@@ -38,6 +43,11 @@ Status TransportModule::AddPeer(uint64_t peer_cmb_window) {
 void TransportModule::ClearPeers() {
   peers_.clear();
   std::fill(std::begin(shadows_), std::end(shadows_), 0);
+  ++rt_generation_;
+  rt_armed_ = false;
+  current_rto_ = config_.retransmit_timeout;
+  degraded_ = false;
+  if (m_degraded_) m_degraded_->Set(0);
 }
 
 void TransportModule::ConfigureSecondary(uint64_t primary_shadow_addr) {
@@ -55,6 +65,21 @@ void TransportModule::SetMetrics(obs::MetricsRegistry* registry,
       registry->GetCounter(prefix + "transport.shadow_advances");
   m_replication_lag_bytes_ =
       registry->GetGauge(prefix + "transport.replication_lag_bytes");
+  m_retransmit_rounds_ =
+      registry->GetCounter(prefix + "transport.retransmit_rounds");
+  m_retransmitted_bytes_ =
+      registry->GetCounter(prefix + "transport.retransmitted_bytes");
+  m_degraded_entries_ =
+      registry->GetCounter(prefix + "transport.degraded_entries");
+  m_degraded_ = registry->GetGauge(prefix + "transport.degraded");
+}
+
+uint64_t TransportModule::MinShadow() const {
+  uint64_t min_shadow = ~0ull;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    min_shadow = std::min(min_shadow, shadows_[i]);
+  }
+  return min_shadow;
 }
 
 void TransportModule::UpdateLagGauge() {
@@ -111,6 +136,7 @@ void TransportModule::OnCmbArrival(uint64_t stream_offset,
 void TransportModule::OnLocalCredit(uint64_t credit) {
   local_credit_ = credit;
   UpdateLagGauge();
+  ArmRetransmitTimer();
 }
 
 void TransportModule::UpdateTick() {
@@ -139,13 +165,116 @@ void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
     shadows_[index] = value;
     last_shadow_advance_ = sim_->Now();
     if (m_shadow_advances_) m_shadow_advances_->Add();
+    // Progress resets the backoff: the next silent window starts small.
+    current_rto_ = config_.retransmit_timeout;
+    if (degraded_ && role_ == Role::kPrimary && !peers_.empty() &&
+        MinShadow() >= local_credit_) {
+      // Every peer caught back up to the local counter: leave degraded
+      // mode and resume the configured protocol.
+      degraded_ = false;
+      if (m_degraded_) m_degraded_->Set(0);
+      XSSD_LOG(kInfo) << "transport: peers caught up, leaving degraded mode";
+    }
     UpdateLagGauge();
     if (shadow_hook_) shadow_hook_(index, value);
   }
 }
 
+void TransportModule::ArmRetransmitTimer() {
+  if (rt_armed_ || role_ != Role::kPrimary || peers_.empty() ||
+      config_.retransmit_timeout == 0 || !ring_reader_) {
+    return;
+  }
+  if (MinShadow() >= local_credit_) return;  // nothing outstanding
+  if (current_rto_ == 0) current_rto_ = config_.retransmit_timeout;
+  rt_armed_ = true;
+  uint64_t generation = rt_generation_;
+  sim_->Schedule(current_rto_, [this, generation]() {
+    if (generation != rt_generation_) return;
+    rt_armed_ = false;
+    OnRetransmitTimer();
+  });
+}
+
+void TransportModule::OnRetransmitTimer() {
+  if (role_ != Role::kPrimary || peers_.empty()) return;
+  if (MinShadow() >= local_credit_) {
+    current_rto_ = config_.retransmit_timeout;
+    return;
+  }
+  sim::SimTime silent = sim_->Now() - last_shadow_advance_;
+  if (silent >= current_rto_) {
+    // No shadow progress for a full timeout: assume mirror writes (or the
+    // returning counter updates) were lost and re-mirror the outstanding
+    // ring bytes. The backoff doubles so a dead link is not hammered.
+    RetransmitRound();
+    current_rto_ =
+        std::min(current_rto_ * 2, config_.retransmit_backoff_max);
+    if (!degraded_ && config_.degrade_timeout > 0 &&
+        silent >= config_.degrade_timeout) {
+      degraded_ = true;
+      ++degraded_entries_;
+      if (m_degraded_entries_) m_degraded_entries_->Add();
+      if (m_degraded_) m_degraded_->Set(1);
+      XSSD_LOG(kWarning)
+          << "transport: no shadow progress for " << sim::ToUs(silent)
+          << " us, entering degraded (un-replicated) mode";
+    }
+  }
+  // Shadows may have advanced since the timer was armed; either way, keep
+  // watching until the lag clears.
+  ArmRetransmitTimer();
+}
+
+void TransportModule::RetransmitRange(uint64_t window_base, uint64_t from) {
+  XSSD_CHECK(ring_bytes_ > 0);
+  // Bytes older than one ring length have been overwritten locally and can
+  // no longer be replayed; a peer that far behind must be re-seeded by the
+  // host (degraded mode covers the interim).
+  uint64_t floor =
+      local_credit_ > ring_bytes_ ? local_credit_ - ring_bytes_ : 0;
+  from = std::max(from, floor);
+  std::vector<uint8_t> buf;
+  for (uint64_t off = from; off < local_credit_;) {
+    size_t n = static_cast<size_t>(std::min<uint64_t>(
+        config_.retransmit_chunk, local_credit_ - off));
+    buf.resize(n);
+    ring_reader_(off, buf.data(), n);
+    uint64_t ring_offset = off % ring_bytes_;
+    size_t first = static_cast<size_t>(
+        std::min<uint64_t>(n, ring_bytes_ - ring_offset));
+    fabric_->PeerWrite(window_base + kRingWindowOffset + ring_offset,
+                       buf.data(), first, pcie::StoreEngine::kWcLineBytes);
+    if (first < n) {
+      fabric_->PeerWrite(window_base + kRingWindowOffset, buf.data() + first,
+                         n - first, pcie::StoreEngine::kWcLineBytes);
+    }
+    retransmitted_bytes_ += n;
+    if (m_retransmitted_bytes_) m_retransmitted_bytes_->Add(n);
+    off += n;
+  }
+}
+
+void TransportModule::RetransmitRound() {
+  ++retransmit_rounds_;
+  if (m_retransmit_rounds_) m_retransmit_rounds_->Add();
+  if (multicast_window_ != 0) {
+    // One hardware-fanned flow, replayed from the slowest peer's counter;
+    // faster peers see duplicate ring bytes, which is idempotent.
+    RetransmitRange(multicast_window_, MinShadow());
+    return;
+  }
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (shadows_[i] < local_credit_) RetransmitRange(peers_[i], shadows_[i]);
+  }
+}
+
 uint64_t TransportModule::EffectiveCredit(uint64_t local_credit) const {
   if (role_ != Role::kPrimary || peers_.empty()) return local_credit;
+  // Degraded mode: every lagging peer has been silent past the degrade
+  // timeout. The primary falls back to its local counter — logging keeps
+  // its durability on this device only — until the peers catch back up.
+  if (degraded_) return local_credit;
   switch (protocol_) {
     case ReplicationProtocol::kLazy:
       // Lazy replication [58]: the primary proceeds independently.
@@ -173,8 +302,9 @@ uint64_t TransportModule::StatusWord(uint64_t local_credit) const {
            << StatusBits::kPeerCountShift) &
           StatusBits::kPeerCountMask;
   if (role_ == Role::kPrimary && !peers_.empty()) {
-    uint64_t effective = EffectiveCredit(local_credit);
-    if (effective < local_credit &&
+    if (degraded_) word |= StatusBits::kDegraded;
+    uint64_t min_shadow = MinShadow();
+    if (min_shadow < local_credit &&
         sim_->Now() - last_shadow_advance_ > config_.stall_timeout) {
       word |= StatusBits::kReplicationStalled;
     }

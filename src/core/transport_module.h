@@ -90,6 +90,14 @@ class TransportModule {
   using ShadowHook = std::function<void(uint32_t index, uint64_t value)>;
   void SetShadowHook(ShadowHook hook) { shadow_hook_ = std::move(hook); }
 
+  /// Reader for retransmission payloads: copies persisted stream bytes
+  /// [stream_offset, +len) out of the local CMB ring. Must only be asked
+  /// for offsets within the last ring_bytes below the local credit — the
+  /// retransmit path clamps to that window itself.
+  using RingReader =
+      std::function<void(uint64_t stream_offset, uint8_t* out, size_t len)>;
+  void SetRingReader(RingReader reader) { ring_reader_ = std::move(reader); }
+
   /// Protocol-visible credit (what the kRegCredit register returns).
   uint64_t EffectiveCredit(uint64_t local_credit) const;
 
@@ -102,6 +110,16 @@ class TransportModule {
   uint64_t mirrored_bytes() const { return mirrored_bytes_; }
   uint64_t counter_updates_sent() const { return counter_updates_sent_; }
 
+  /// Retransmission diagnostics: silent-shadow rounds fired and ring bytes
+  /// re-mirrored (0 unless retransmit_timeout is configured).
+  uint64_t retransmit_rounds() const { return retransmit_rounds_; }
+  uint64_t retransmitted_bytes() const { return retransmitted_bytes_; }
+
+  /// True while the primary logs un-replicated because every lagging peer
+  /// has been silent past degrade_timeout.
+  bool degraded() const { return degraded_; }
+  uint64_t degraded_entries() const { return degraded_entries_; }
+
   /// Register this module's metrics under `prefix` + "transport.".
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
@@ -109,6 +127,19 @@ class TransportModule {
  private:
   void UpdateTick();
   void UpdateLagGauge();
+
+  /// Smallest shadow counter across registered peers (the eager bound).
+  uint64_t MinShadow() const;
+
+  /// Arm the retransmit timer if lag exists and retransmission is enabled.
+  void ArmRetransmitTimer();
+  void OnRetransmitTimer();
+
+  /// Re-mirror [from, local_credit_) — clamped to the last ring_bytes of
+  /// the stream — into `window_base`'s ring window in retransmit_chunk
+  /// pieces, via the same posted-write path the live mirror uses.
+  void RetransmitRange(uint64_t window_base, uint64_t from);
+  void RetransmitRound();
 
   sim::Simulator* sim_;
   pcie::PcieFabric* fabric_;
@@ -132,13 +163,27 @@ class TransportModule {
   uint64_t mirrored_bytes_ = 0;
   uint64_t counter_updates_sent_ = 0;
   ShadowHook shadow_hook_;
+  RingReader ring_reader_;
+
+  // Retransmit / degraded-mode state (primary only).
+  bool rt_armed_ = false;
+  uint64_t rt_generation_ = 0;   ///< cancels stale retransmit timers
+  sim::SimTime current_rto_ = 0;  ///< doubles per silent round
+  bool degraded_ = false;
+  uint64_t retransmit_rounds_ = 0;
+  uint64_t retransmitted_bytes_ = 0;
+  uint64_t degraded_entries_ = 0;
 
   // Observability (null until SetMetrics).
   obs::Counter* m_mirrored_bytes_ = nullptr;
   obs::Counter* m_mirror_chunks_ = nullptr;
   obs::Counter* m_counter_updates_ = nullptr;
   obs::Counter* m_shadow_advances_ = nullptr;
+  obs::Counter* m_retransmit_rounds_ = nullptr;
+  obs::Counter* m_retransmitted_bytes_ = nullptr;
+  obs::Counter* m_degraded_entries_ = nullptr;
   obs::Gauge* m_replication_lag_bytes_ = nullptr;
+  obs::Gauge* m_degraded_ = nullptr;
 };
 
 }  // namespace xssd::core

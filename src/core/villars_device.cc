@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 
 namespace xssd::core {
 
@@ -36,6 +38,10 @@ void VillarsDevice::WireHooks() {
       [this](uint64_t stream_offset, const uint8_t* data, size_t len) {
         transport_->OnCmbArrival(stream_offset, data, len);
       });
+  transport_->SetRingReader(
+      [this](uint64_t stream_offset, uint8_t* out, size_t len) {
+        cmb_->CopyOut(stream_offset, out, len);
+      });
   controller_->SetVendorHandler(
       [this](const nvme::Command& cmd,
              std::function<void(nvme::Completion)> done) {
@@ -53,6 +59,24 @@ void VillarsDevice::EnableMetrics(obs::MetricsRegistry* registry,
   cmb_->SetMetrics(registry, prefix);
   destage_->SetMetrics(registry, prefix);
   transport_->SetMetrics(registry, prefix);
+}
+
+void VillarsDevice::ArmFaults(fault::FaultInjector* injector,
+                              bool install_crash_handler) {
+  injector_ = injector;
+  array_->set_fault_injector(injector);
+  controller_->set_fault_injector(injector);
+  cmb_->SetFaultInjector(injector, name_ + "/");
+  destage_->SetFaultInjector(injector, name_ + "/");
+  if (injector != nullptr && install_crash_handler) {
+    injector->SetCrashHandler([this](const fault::FaultSpec& spec) {
+      if (spec.graceful) {
+        PowerFail([] {});
+      } else {
+        CrashHard();
+      }
+    });
+  }
 }
 
 Status VillarsDevice::Attach(uint64_t bar0_base, uint64_t cmb_base) {
@@ -216,6 +240,16 @@ void VillarsDevice::PowerFail(std::function<void()> done) {
                                    std::move(done));
 }
 
+void VillarsDevice::CrashHard() {
+  XSSD_LOG(kWarning) << name_ << ": HARD CRASH — no supercap flush";
+  halted_ = true;
+  // Order matters: halt the destage pipeline (cancelling any backed-off
+  // write retries) before dropping staged chunks, so nothing schedules new
+  // flash traffic against the dead device.
+  destage_->HaltForCrash();
+  cmb_->AbandonStagingForCrash();
+}
+
 void VillarsDevice::Reboot() {
   ++epoch_;
   halted_ = false;
@@ -226,6 +260,9 @@ void VillarsDevice::Reboot() {
                                              config_.destage, epoch_);
   if (metrics_registry_ != nullptr) {
     destage_->SetMetrics(metrics_registry_, metrics_prefix_);
+  }
+  if (injector_ != nullptr) {
+    destage_->SetFaultInjector(injector_, name_ + "/");
   }
   // Advance the destage ring cursor past the previous epoch's pages so new
   // destages do not immediately overwrite recovery data. Recovery tooling

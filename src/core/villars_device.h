@@ -60,6 +60,12 @@ class VillarsDevice : public pcie::MmioDevice {
   /// the emergency destage finishes.
   void PowerFail(std::function<void()> done);
 
+  /// Hard crash (firmware wedge / supercap failure): the device halts with
+  /// NO staging drain and NO emergency destage. Only bytes that already
+  /// reached the PM ring (and pages already durable in flash) survive into
+  /// recovery — the worst case the recovery chain walk must handle.
+  void CrashHard();
+
   /// Bring the device back: fast side restarts empty in a new epoch; the
   /// conventional side (flash) retains everything destaged.
   void Reboot();
@@ -88,6 +94,16 @@ class VillarsDevice : public pcie::MmioDevice {
   /// destage module recreated by Reboot() is re-instrumented.
   void EnableMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix = "");
+
+  /// Attach a fault injector to every component of this device (nullptr
+  /// detaches). Crash sites are namespaced `name() + "/"` (a plan site
+  /// "destage.emit_page" matches any device; "pri/destage.emit_page" only
+  /// this one). With `install_crash_handler`, a firing crash clause drives
+  /// this device: graceful → PowerFail (supercap flush + emergency
+  /// destage), otherwise → CrashHard. The injector is retained so the
+  /// destage module recreated by Reboot() stays instrumented.
+  void ArmFaults(fault::FaultInjector* injector,
+                 bool install_crash_handler = true);
 
  private:
   /// Vendor-specific admin command dispatch.
@@ -119,6 +135,9 @@ class VillarsDevice : public pcie::MmioDevice {
   // Observability (set by EnableMetrics; survives Reboot()).
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   std::string metrics_prefix_;
+
+  // Fault injection (set by ArmFaults; survives Reboot()).
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace xssd::core

@@ -1,0 +1,134 @@
+#include "fault/fault_injector.h"
+
+namespace xssd::fault {
+
+FaultInjector::FaultInjector(sim::Simulator* sim, FaultPlan plan, uint64_t seed)
+    : sim_(sim), plan_(std::move(plan)), rng_(seed ^ 0xFA017FA017FA017Aull) {
+  clauses_.reserve(plan_.faults.size());
+  for (const FaultSpec& spec : plan_.faults) {
+    clauses_.push_back(Clause{spec});
+  }
+}
+
+void FaultInjector::SetMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_flash_program_fails_ = m_flash_erase_fails_ = nullptr;
+    m_flash_read_uncorrectable_ = m_ntb_dropped_ = m_ntb_stalled_ = nullptr;
+    m_pcie_delayed_ = m_pcie_truncated_ = m_nvme_timeouts_ = nullptr;
+    m_crashes_ = nullptr;
+    return;
+  }
+  m_flash_program_fails_ = registry->GetCounter("fault.flash.program_fails");
+  m_flash_erase_fails_ = registry->GetCounter("fault.flash.erase_fails");
+  m_flash_read_uncorrectable_ =
+      registry->GetCounter("fault.flash.read_uncorrectable");
+  m_ntb_dropped_ = registry->GetCounter("fault.ntb.dropped_writes");
+  m_ntb_stalled_ = registry->GetCounter("fault.ntb.stalled_writes");
+  m_pcie_delayed_ = registry->GetCounter("fault.pcie.delayed_stores");
+  m_pcie_truncated_ = registry->GetCounter("fault.pcie.truncated_stores");
+  m_nvme_timeouts_ = registry->GetCounter("fault.nvme.timeouts");
+  m_crashes_ = registry->GetCounter("fault.crashes");
+}
+
+void FaultInjector::Count(obs::Counter* counter, uint64_t* total) {
+  ++*total;
+  if (counter != nullptr) counter->Add(1);
+}
+
+bool FaultInjector::Fires(const FaultSpec& spec) {
+  const sim::SimTime now = sim_->Now();
+  if (now < spec.at || now >= spec.end()) return false;
+  if (spec.probability >= 1.0) return true;
+  // Rng state advances only for probabilistic clauses inside their window,
+  // so adding an unrelated clause to a plan cannot shift existing draws.
+  return rng_.Bernoulli(spec.probability);
+}
+
+const FaultSpec* FaultInjector::Match(FaultKind kind) {
+  if (crashed_) return nullptr;
+  for (Clause& clause : clauses_) {
+    if (clause.spec.kind != kind) continue;
+    if (Fires(clause.spec)) return &clause.spec;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::InjectFlashProgramFail() {
+  if (Match(FaultKind::kFlashProgramFail) == nullptr) return false;
+  Count(m_flash_program_fails_, &totals_.flash_program_fails);
+  return true;
+}
+
+bool FaultInjector::InjectFlashEraseFail() {
+  if (Match(FaultKind::kFlashEraseFail) == nullptr) return false;
+  Count(m_flash_erase_fails_, &totals_.flash_erase_fails);
+  return true;
+}
+
+bool FaultInjector::InjectFlashReadUncorrectable() {
+  if (Match(FaultKind::kFlashReadUncorrectable) == nullptr) return false;
+  Count(m_flash_read_uncorrectable_, &totals_.flash_read_uncorrectable);
+  return true;
+}
+
+FaultInjector::NtbDecision FaultInjector::NtbForwardDecision() {
+  if (Match(FaultKind::kNtbLinkDown) != nullptr) {
+    Count(m_ntb_dropped_, &totals_.ntb_dropped);
+    return {LinkAction::kDrop, 0};
+  }
+  if (const FaultSpec* spec = Match(FaultKind::kNtbLinkStall)) {
+    Count(m_ntb_stalled_, &totals_.ntb_stalled);
+    return {LinkAction::kStall, spec->delay};
+  }
+  return {LinkAction::kForward, 0};
+}
+
+sim::SimTime FaultInjector::InjectPcieStoreDelay() {
+  const FaultSpec* spec = Match(FaultKind::kPcieStoreDelay);
+  if (spec == nullptr) return 0;
+  Count(m_pcie_delayed_, &totals_.pcie_delayed);
+  return spec->delay;
+}
+
+uint64_t FaultInjector::InjectPcieTruncation(uint64_t len) {
+  if (len == 0) return 0;
+  if (Match(FaultKind::kPcieStoreTruncate) == nullptr) return len;
+  Count(m_pcie_truncated_, &totals_.pcie_truncated);
+  // Drop the tail: at least one byte lands (a fully-dropped store is the
+  // NTB link-down fault's job), at least one byte is lost.
+  if (len == 1) return 0;
+  return 1 + rng_.Uniform(len - 1);
+}
+
+FaultInjector::NvmeDecision FaultInjector::InjectNvmeTimeout() {
+  const FaultSpec* spec = Match(FaultKind::kNvmeTimeout);
+  if (spec == nullptr) return {};
+  Count(m_nvme_timeouts_, &totals_.nvme_timeouts);
+  return {true, spec->delay};
+}
+
+bool FaultInjector::CrashPoint(std::string_view site) {
+  if (crashed_) return false;
+  for (Clause& clause : clauses_) {
+    if (clause.spec.kind != FaultKind::kCrash) continue;
+    const std::string& want = clause.spec.site;
+    // Accept the full "<device>/<site>" name or the unprefixed tail, so a
+    // plan can target one device or every device sharing the injector.
+    const bool matches =
+        site == want ||
+        (site.size() > want.size() &&
+         site.substr(site.size() - want.size()) == want &&
+         site[site.size() - want.size() - 1] == '/');
+    if (!matches) continue;
+    const sim::SimTime now = sim_->Now();
+    if (now < clause.spec.at || now >= clause.spec.end()) continue;
+    if (++clause.hits < clause.spec.after_hits) continue;
+    crashed_ = true;
+    Count(m_crashes_, &totals_.crashes);
+    if (crash_handler_) crash_handler_(clause.spec);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xssd::fault

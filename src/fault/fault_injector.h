@@ -1,0 +1,135 @@
+#ifndef XSSD_FAULT_FAULT_INJECTOR_H_
+#define XSSD_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace xssd::fault {
+
+/// \brief Seeded, deterministic fault oracle consulted by the component
+/// hooks (flash, NTB, PCIe, NVMe, cmb/destage crash sites).
+///
+/// Components that were handed an injector call the matching Inject*/
+/// CrashPoint hook at each candidate event; the injector answers from the
+/// plan's active windows and its own Rng. Because draws happen only inside
+/// active windows and the simulator is single-threaded with deterministic
+/// event order, a (plan, seed) pair replays bit-identically.
+///
+/// The injector never mutates the system itself — it only decides. The one
+/// exception is CrashPoint, which invokes the registered crash handler
+/// (synchronously) the first time a crash clause trips.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator* sim, FaultPlan plan, uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Register `fault.*` counters; pass nullptr to detach. Counters record
+  /// *injected* events; the components' own metrics record how they coped.
+  void SetMetrics(obs::MetricsRegistry* registry);
+
+  /// Invoked (once, synchronously) when a crash clause fires; receives the
+  /// spec so the handler can honour `graceful`.
+  using CrashHandler = std::function<void(const FaultSpec&)>;
+  void SetCrashHandler(CrashHandler handler) { crash_handler_ = std::move(handler); }
+
+  // --- Component hooks ------------------------------------------------------
+
+  /// flash::Array::Program — true forces the program op to fail.
+  bool InjectFlashProgramFail();
+  /// flash::Array::Erase — true forces the erase op to fail.
+  bool InjectFlashEraseFail();
+  /// flash::Array::Read — true forces an uncorrectable (beyond-ECC) read.
+  bool InjectFlashReadUncorrectable();
+
+  /// ntb::NtbAdapter forwarding decision for one translated write.
+  enum class LinkAction { kForward, kDrop, kStall };
+  struct NtbDecision {
+    LinkAction action = LinkAction::kForward;
+    sim::SimTime delay = 0;  ///< extra latency when action == kStall
+  };
+  NtbDecision NtbForwardDecision();
+
+  /// pcie::PcieFabric — extra latency added to a routed store (0 = none).
+  sim::SimTime InjectPcieStoreDelay();
+  /// pcie::PcieFabric — bytes of a peer-path store that actually land
+  /// (returns `len` when no truncation fault is active).
+  uint64_t InjectPcieTruncation(uint64_t len);
+
+  /// nvme::Controller — I/O command timeout decision.
+  struct NvmeDecision {
+    bool timeout = false;
+    sim::SimTime delay = 0;  ///< when the error completion is delivered
+  };
+  NvmeDecision InjectNvmeTimeout();
+
+  /// Whole-device crash sites. Components announce a site as
+  /// "<device>/<site>" (e.g. "pri/destage.emit_page"); a spec matches on
+  /// the full name or on the unprefixed tail. Fires at most once per
+  /// injector; after the crash every hook reports "no fault" so recovery
+  /// and emergency destage run uninstrumented.
+  bool CrashPoint(std::string_view site);
+  bool crashed() const { return crashed_; }
+
+  /// Injection totals, usable without a metrics registry.
+  struct Totals {
+    uint64_t flash_program_fails = 0;
+    uint64_t flash_erase_fails = 0;
+    uint64_t flash_read_uncorrectable = 0;
+    uint64_t ntb_dropped = 0;
+    uint64_t ntb_stalled = 0;
+    uint64_t pcie_delayed = 0;
+    uint64_t pcie_truncated = 0;
+    uint64_t nvme_timeouts = 0;
+    uint64_t crashes = 0;
+  };
+  const Totals& totals() const { return totals_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Clause {
+    FaultSpec spec;
+    uint64_t hits = 0;  ///< crash clauses: matching site visits so far
+  };
+
+  /// True when `spec`'s window covers Now() and its probability draw (if
+  /// any) passes. Draws consume Rng state only for probabilistic clauses
+  /// inside their window.
+  bool Fires(const FaultSpec& spec);
+  /// First firing clause of `kind`, else nullptr.
+  const FaultSpec* Match(FaultKind kind);
+
+  void Count(obs::Counter* counter, uint64_t* total);
+
+  sim::Simulator* sim_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::vector<Clause> clauses_;
+  CrashHandler crash_handler_;
+  bool crashed_ = false;
+  Totals totals_;
+
+  obs::Counter* m_flash_program_fails_ = nullptr;
+  obs::Counter* m_flash_erase_fails_ = nullptr;
+  obs::Counter* m_flash_read_uncorrectable_ = nullptr;
+  obs::Counter* m_ntb_dropped_ = nullptr;
+  obs::Counter* m_ntb_stalled_ = nullptr;
+  obs::Counter* m_pcie_delayed_ = nullptr;
+  obs::Counter* m_pcie_truncated_ = nullptr;
+  obs::Counter* m_nvme_timeouts_ = nullptr;
+  obs::Counter* m_crashes_ = nullptr;
+};
+
+}  // namespace xssd::fault
+
+#endif  // XSSD_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,82 @@
+#ifndef XSSD_FAULT_FAULT_PLAN_H_
+#define XSSD_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/time.h"
+
+namespace xssd::fault {
+
+/// What a FaultSpec injects. Each kind maps to exactly one hook site in the
+/// component it names (see FaultInjector).
+enum class FaultKind {
+  kFlashProgramFail,      ///< NAND program op fails -> grown bad block
+  kFlashEraseFail,        ///< NAND erase op fails -> grown bad block
+  kFlashReadUncorrectable,///< read returns more bit errors than ECC corrects
+  kNtbLinkDown,           ///< NTB drops forwarded TLPs (link flap)
+  kNtbLinkStall,          ///< NTB delays forwarded TLPs by `delay`
+  kPcieStoreDelay,        ///< MMIO stores arrive `delay` late
+  kPcieStoreTruncate,     ///< peer-path MMIO stores lose their tail bytes
+  kNvmeTimeout,           ///< NVMe I/O command completes in error after `delay`
+  kCrash,                 ///< whole-device crash at a named source site
+};
+
+/// Stable wire name for a kind ("flash.program_fail", "crash", ...).
+const char* FaultKindName(FaultKind kind);
+Result<FaultKind> FaultKindFromName(std::string_view name);
+
+/// One fault clause. Times are virtual (simulator) nanoseconds; the JSON
+/// schema expresses them in microseconds (`at_us`, `duration_us`,
+/// `delay_us`) to match the rest of the repo's knobs.
+struct FaultSpec {
+  static constexpr sim::SimTime kForever =
+      std::numeric_limits<sim::SimTime>::max();
+
+  FaultKind kind = FaultKind::kFlashProgramFail;
+  sim::SimTime at = 0;               ///< window start (inclusive)
+  sim::SimTime duration = kForever;  ///< window length; kForever = open-ended
+  double probability = 1.0;          ///< chance a hook inside the window fires
+  sim::SimTime delay = 0;            ///< stall/delay/timeout magnitude
+  std::string site;                  ///< crash only: named crash site
+  uint32_t after_hits = 1;           ///< crash only: fire on the Nth site hit
+  bool graceful = true;              ///< crash only: supercap flush vs hard
+
+  /// Window end (exclusive); saturates instead of overflowing.
+  sim::SimTime end() const {
+    return (duration >= kForever - at) ? kForever : at + duration;
+  }
+};
+
+/// \brief A named, ordered list of fault clauses.
+///
+/// JSON schema (all *_us fields are microseconds, doubles allowed):
+/// {
+///   "name": "ntb-flap",
+///   "faults": [
+///     {"kind": "ntb.link_down", "at_us": 200, "duration_us": 400},
+///     {"kind": "flash.program_fail", "at_us": 0, "probability": 0.05},
+///     {"kind": "crash", "site": "destage.emit_page", "after_hits": 3,
+///      "graceful": false}
+///   ]
+/// }
+/// Unknown kinds or fields are hard errors, so plan files cannot silently
+/// drift out of sync with the injector.
+struct FaultPlan {
+  std::string name;
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+};
+
+/// Parse a plan from a JSON document / load one from a file.
+Result<FaultPlan> ParseFaultPlan(std::string_view json);
+Result<FaultPlan> LoadFaultPlan(const std::string& path);
+
+}  // namespace xssd::fault
+
+#endif  // XSSD_FAULT_FAULT_PLAN_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace xssd::flash {
 
@@ -40,6 +41,9 @@ void Array::SetMetrics(obs::MetricsRegistry* registry,
   m_erases_ = registry->GetCounter(prefix + "flash.erases");
   m_program_failures_ =
       registry->GetCounter(prefix + "flash.program_failures");
+  m_erase_failures_ = registry->GetCounter(prefix + "flash.erase_failures");
+  m_bad_block_rejects_ =
+      registry->GetCounter(prefix + "flash.bad_block_rejects");
   m_corrected_bit_errors_ =
       registry->GetCounter(prefix + "flash.corrected_bit_errors");
   m_uncorrectable_reads_ =
@@ -86,6 +90,8 @@ void Array::Program(const Address& addr, std::vector<uint8_t> data,
   XSSD_CHECK(Contains(geometry_, addr));
   Block& block = BlockAt(addr);
   if (block.bad) {
+    ++stats_.bad_block_rejects;
+    if (m_bad_block_rejects_) m_bad_block_rejects_->Add();
     sim_->Schedule(timing_.command_overhead,
                    [done = std::move(done),
                     bus_released = std::move(bus_released)]() mutable {
@@ -109,6 +115,7 @@ void Array::Program(const Address& addr, std::vector<uint8_t> data,
 
   bool fail = reliability_.program_fail_rate > 0 &&
               rng_.Bernoulli(reliability_.program_fail_rate);
+  if (injector_ != nullptr && injector_->InjectFlashProgramFail()) fail = true;
 
   // Data moves over the channel bus into the die's page register, then the
   // die is busy for tPROG.
@@ -153,6 +160,9 @@ void Array::Read(const Address& addr, ReadCallback done) {
   if (data.empty()) data.assign(geometry_.page_bytes, 0xFF);  // erased page
 
   uint64_t errors = SampleBitErrors(block);
+  if (injector_ != nullptr && injector_->InjectFlashReadUncorrectable()) {
+    errors = reliability_.ecc_correctable_bits + 1;
+  }
   Status status = Status::OK();
   if (errors > reliability_.ecc_correctable_bits) {
     ++stats_.uncorrectable_reads;
@@ -177,6 +187,8 @@ void Array::Erase(const Address& addr, EraseCallback done) {
   XSSD_CHECK(Contains(geometry_, addr));
   Block& block = BlockAt(addr);
   if (block.bad) {
+    ++stats_.bad_block_rejects;
+    if (m_bad_block_rejects_) m_bad_block_rejects_->Add();
     sim_->Schedule(timing_.command_overhead, [done = std::move(done)]() {
       done(Status::IoError("erase of bad block"));
     });
@@ -188,6 +200,16 @@ void Array::Erase(const Address& addr, EraseCallback done) {
                 timing_.erase_latency);
   ++stats_.erases;
   if (m_erases_) m_erases_->Add();
+  if (injector_ != nullptr && injector_->InjectFlashEraseFail()) {
+    // An erase failure grows a bad block, same as a program failure.
+    ++stats_.erase_failures;
+    if (m_erase_failures_) m_erase_failures_->Add();
+    block.bad = true;
+    sim_->ScheduleAt(erase_done, [done = std::move(done)]() {
+      done(Status::IoError("erase operation failed"));
+    });
+    return;
+  }
   ++block.erase_count;
   for (auto& page : block.pages) page.clear();
   block.next_page = 0;

@@ -14,6 +14,10 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 
+namespace xssd::fault {
+class FaultInjector;
+}  // namespace xssd::fault
+
 namespace xssd::flash {
 
 /// Per-array operation statistics.
@@ -22,6 +26,8 @@ struct ArrayStats {
   uint64_t programs = 0;
   uint64_t erases = 0;
   uint64_t program_failures = 0;
+  uint64_t erase_failures = 0;
+  uint64_t bad_block_rejects = 0;  ///< ops refused because the block is bad
   uint64_t corrected_bit_errors = 0;
   uint64_t uncorrectable_reads = 0;
 };
@@ -95,6 +101,13 @@ class Array {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach a fault injector (nullptr detaches). Injected program/erase
+  /// failures and uncorrectable reads ride the same paths as the wear
+  /// model's, so callers cannot tell them apart — which is the point.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   struct Block {
     std::vector<std::vector<uint8_t>> pages;  // empty vector == erased
@@ -128,6 +141,7 @@ class Array {
   Timing timing_;
   Reliability reliability_;
   sim::Rng rng_;
+  fault::FaultInjector* injector_ = nullptr;
 
   std::vector<Die> dies_;
   std::vector<std::unique_ptr<sim::BandwidthServer>> channel_bus_;
@@ -138,6 +152,8 @@ class Array {
   obs::Counter* m_programs_ = nullptr;
   obs::Counter* m_erases_ = nullptr;
   obs::Counter* m_program_failures_ = nullptr;
+  obs::Counter* m_erase_failures_ = nullptr;
+  obs::Counter* m_bad_block_rejects_ = nullptr;
   obs::Counter* m_corrected_bit_errors_ = nullptr;
   obs::Counter* m_uncorrectable_reads_ = nullptr;
 };

@@ -144,7 +144,7 @@ void Ftl::WriteDirect(IoClass io_class, uint64_t lpn,
 
 void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
                       uint64_t lpn, std::vector<uint8_t> data,
-                      WriteCallback done) {
+                      WriteCallback done, uint32_t attempts) {
   Result<flash::Address> addr = allocator_.AllocatePage(stream);
   if (!addr.ok()) {
     // Out of erased blocks: force a GC pass, then retry.
@@ -155,8 +155,9 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
     }
     sim_->Schedule(sim::Us(100), [this, io_class, stream, lpn,
                                   data = std::move(data),
-                                  done = std::move(done)]() mutable {
-      ProgramPage(io_class, stream, lpn, std::move(data), std::move(done));
+                                  done = std::move(done), attempts]() mutable {
+      ProgramPage(io_class, stream, lpn, std::move(data), std::move(done),
+                  attempts);
     });
     return;
   }
@@ -164,7 +165,7 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
   uint64_t ppn = flash::PageIndex(array_->geometry(), target);
   scheduler_.Program(
       io_class, target, data,
-      [this, io_class, stream, lpn, ppn, target, data,
+      [this, io_class, stream, lpn, ppn, target, data, attempts,
        done = std::move(done)](Status status) mutable {
         if (status.IsIoError()) {
           // Grown bad block: retire it and retry elsewhere (paper §7.1:
@@ -173,8 +174,14 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
           allocator_.MarkBad(block);
           ++stats_.bad_block_retires;
           if (m_bad_block_retires_) m_bad_block_retires_->Add();
+          if (attempts + 1 >= config_.max_program_retries) {
+            // A fault window is failing every program; stop burning blocks
+            // and let the caller apply its own retry/backoff policy.
+            done(status);
+            return;
+          }
           ProgramPage(io_class, stream, lpn, std::move(data),
-                      std::move(done));
+                      std::move(done), attempts + 1);
           return;
         }
         if (!status.ok()) {

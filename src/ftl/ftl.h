@@ -34,6 +34,10 @@ struct FtlConfig {
   double buffer_bytes_per_sec = 2e9;
   /// Fixed device firmware latency per buffered-write acknowledgment.
   sim::SimTime firmware_latency = sim::Us(2);
+  /// Grown-bad-block program retries before the IoError is surfaced to the
+  /// caller. Bounds the damage of a fault window that fails every program:
+  /// past the cap the caller (destage module / host) owns the retry policy.
+  uint32_t max_program_retries = 8;
 };
 
 /// Cumulative FTL statistics.
@@ -116,10 +120,11 @@ class Ftl {
     std::list<uint64_t>::iterator lru_pos;
   };
 
-  /// Program `data` for `lpn` via `stream`, retrying on grown-bad blocks.
+  /// Program `data` for `lpn` via `stream`, retrying on grown-bad blocks
+  /// up to config_.max_program_retries times.
   void ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
                    uint64_t lpn, std::vector<uint8_t> data,
-                   WriteCallback done);
+                   WriteCallback done, uint32_t attempts = 0);
 
   /// Kick background flushing if the dirty count warrants it.
   void MaybeScheduleFlush();

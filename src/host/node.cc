@@ -40,6 +40,13 @@ void StorageNode::EnableMetrics(obs::MetricsRegistry* registry,
   ntb_.SetMetrics(registry, prefix);
 }
 
+void StorageNode::ArmFaults(fault::FaultInjector* injector,
+                            bool install_crash_handler) {
+  device_.ArmFaults(injector, install_crash_handler);
+  fabric_.set_fault_injector(injector);
+  ntb_.set_fault_injector(injector);
+}
+
 Result<uint64_t> StorageNode::ConnectWindowTo(uint32_t slot,
                                               StorageNode& peer) {
   if (!ntb_attached_) return Status::FailedPrecondition("Init() first");

@@ -56,6 +56,12 @@ class StorageNode {
   void EnableMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix = "");
 
+  /// Attach a fault injector to this node's device, fabric, and NTB
+  /// adapter (nullptr detaches). Forwards to
+  /// core::VillarsDevice::ArmFaults for the device-internal hooks.
+  void ArmFaults(fault::FaultInjector* injector,
+                 bool install_crash_handler = true);
+
   pcie::PcieFabric& fabric() { return fabric_; }
   core::VillarsDevice& device() { return device_; }
   nvme::Driver& driver() { return driver_; }

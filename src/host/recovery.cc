@@ -15,15 +15,27 @@ Result<RecoveredLog> RecoverLog(sim::Simulator& sim, nvme::Driver& driver,
   RecoveredLog out;
 
   // Collect every valid destage page in the ring, keyed by sequence.
+  // Transient read errors (ECC hiccups, injected uncorrectables) get a few
+  // re-reads before the slot is treated as unreadable; a slot that stays
+  // unreadable is skipped like a torn page, so the chain walk below stops
+  // at it rather than returning bytes past a gap.
+  constexpr int kReadAttempts = 3;
   std::map<uint64_t, core::ParsedDestagePage> pages;
   for (uint64_t slot = 0; slot < ring_lba_count; ++slot) {
     uint64_t lba = ring_start_lba + slot;
-    Result<std::vector<uint8_t>> page =
-        runner.AwaitValue<std::vector<uint8_t>>(
-            [&](std::function<void(Status, std::vector<uint8_t>)> done) {
-              driver.Read(lba, 1, std::move(done));
-            });
-    if (!page.ok()) return page.status();
+    Result<std::vector<uint8_t>> page = Status::Internal("unread");
+    for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      page = runner.AwaitValue<std::vector<uint8_t>>(
+          [&](std::function<void(Status, std::vector<uint8_t>)> done) {
+            driver.Read(lba, 1, std::move(done));
+          });
+      if (page.ok()) break;
+    }
+    if (!page.ok()) {
+      ++out.pages_scanned;
+      ++out.pages_unreadable;
+      continue;
+    }
     ++out.pages_scanned;
     Result<core::ParsedDestagePage> parsed =
         core::ParseDestagePage(*page);

@@ -21,6 +21,8 @@ struct RecoveredLog {
   uint32_t epoch = 0;
   uint64_t pages_scanned = 0;
   uint64_t pages_valid = 0;
+  /// Slots whose reads kept failing even after the bounded re-reads.
+  uint64_t pages_unreadable = 0;
 
   uint64_t end_offset() const { return start_offset + data.size(); }
 };

@@ -51,6 +51,21 @@ Status XLogClient::ResumeAtDeviceTail() {
   return Status::OK();
 }
 
+Status XLogClient::Reconnect() {
+  XSSD_RETURN_IF_ERROR(Setup());
+  XSSD_RETURN_IF_ERROR(ResumeAtDeviceTail());
+  // The reboot started a fresh epoch at stream offset 0; tail reads restart
+  // with it. Allocations from the dead session cannot be completed.
+  read_cursor_ = 0;
+  read_seq_ = 0;
+  tail_leftover_.clear();
+  allocations_.clear();
+  alloc_head_ = 0;
+  PushBarrier();
+  ++reconnects_;
+  return Status::OK();
+}
+
 void XLogClient::ReadRegister(uint64_t reg,
                               std::function<void(uint64_t)> done) {
   ++credit_polls_;
@@ -138,18 +153,41 @@ void XLogClient::AppendLoop(std::shared_ptr<std::vector<uint8_t>> data,
 }
 
 void XLogClient::Sync(DoneCallback done) {
-  SyncLoop(std::move(done));
+  SyncLoop(std::move(done), sim_->Now());
 }
 
-void XLogClient::SyncLoop(DoneCallback done) {
+void XLogClient::SyncLoop(DoneCallback done, sim::SimTime last_progress) {
   if (credit_cache_ >= written_) {
     done(Status::OK());
     return;
   }
-  ReadRegister(core::kRegCredit, [this, done = std::move(done)](
-                                     uint64_t credit) mutable {
-    credit_cache_ = std::max(credit_cache_, credit);
-    SyncLoop(std::move(done));
+  if (options_.sync_stall_timeout > 0 &&
+      sim_->Now() - last_progress >= options_.sync_stall_timeout) {
+    // The counter is stuck. Ask the device whether it is still alive —
+    // a degraded or stalled primary will still make (local) progress, but
+    // a halted one never will, and the caller must fail over/Reconnect().
+    ReadRegister(core::kRegTransportStatus,
+                 [this, done = std::move(done),
+                  last_progress](uint64_t word) mutable {
+                   if (word & core::StatusBits::kHalted) {
+                     ++sync_failures_;
+                     done(Status::Unavailable(
+                         "device halted with unsynced log bytes"));
+                     return;
+                   }
+                   // Alive (possibly degraded): grant another stall window
+                   // of credit polling before checking again.
+                   SyncLoop(std::move(done), sim_->Now());
+                 });
+    return;
+  }
+  ReadRegister(core::kRegCredit, [this, done = std::move(done),
+                                  last_progress](uint64_t credit) mutable {
+    if (credit > credit_cache_) {
+      credit_cache_ = credit;
+      last_progress = sim_->Now();
+    }
+    SyncLoop(std::move(done), last_progress);
   });
 }
 

@@ -26,6 +26,11 @@ struct XLogClientOptions {
   /// flow control is advisory (paper §4.1); raw-intake microbenchmarks
   /// (Figure 10) turn this off.
   bool respect_ring_capacity = true;
+  /// x_fsync gives up when the credit counter makes no progress for this
+  /// long and the device reports itself halted (crash/power fail); Sync
+  /// then fails with Unavailable so the caller can Reconnect(). 0 waits
+  /// forever (the seed behaviour).
+  sim::SimTime sync_stall_timeout = 0;
 };
 
 /// \brief Host-side fast-path client for one Villars device: the engine
@@ -57,6 +62,18 @@ class XLogClient {
   /// the replicated stream, and the new primary must continue appending
   /// where it ends rather than at offset 0.
   Status ResumeAtDeviceTail();
+
+  /// Re-establish the session after the device came back from a crash or
+  /// power failure (Reboot()): re-reads geometry, adopts the device's
+  /// post-recovery tail as the append position, and resets the tail-read
+  /// cursors to the new epoch's stream. Outstanding allocations are
+  /// discarded — their bytes died with the fast side.
+  Status Reconnect();
+
+  /// Sessions established (initial Setup excluded).
+  uint64_t reconnects() const { return reconnects_; }
+  /// Syncs that failed because the device halted underneath them.
+  uint64_t sync_failures() const { return sync_failures_; }
 
   // -- Append path (x_pwrite) ----------------------------------------------
 
@@ -117,7 +134,7 @@ class XLogClient {
   /// Async read of a control register.
   void ReadRegister(uint64_t reg, std::function<void(uint64_t)> done);
 
-  void SyncLoop(DoneCallback done);
+  void SyncLoop(DoneCallback done, sim::SimTime last_progress);
   void ReadTailLoop(nvme::Driver* driver, size_t len,
                     std::shared_ptr<std::vector<uint8_t>> acc,
                     ReadCallback done);
@@ -138,6 +155,8 @@ class XLogClient {
   uint64_t credit_cache_ = 0;
   uint64_t destaged_cache_ = 0;
   uint64_t credit_polls_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t sync_failures_ = 0;
 
   // x_pread cursors.
   uint64_t read_cursor_ = 0;

@@ -1,6 +1,7 @@
 #include "ntb/ntb.h"
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "pcie/tlp.h"
 
 namespace xssd::ntb {
@@ -19,6 +20,8 @@ void NtbAdapter::SetMetrics(obs::MetricsRegistry* registry,
   m_payload_bytes_ = registry->GetCounter(prefix + "ntb.payload_bytes");
   m_packets_ = registry->GetCounter(prefix + "ntb.packets");
   m_forwards_ = registry->GetCounter(prefix + "ntb.forwards");
+  m_dropped_writes_ = registry->GetCounter(prefix + "ntb.dropped_writes");
+  m_dropped_bytes_ = registry->GetCounter(prefix + "ntb.dropped_bytes");
   m_link_busy_us_ = registry->GetGauge(prefix + "ntb.link_busy_us");
 }
 
@@ -73,6 +76,26 @@ void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
   }
   uint64_t window_offset = offset - window->offset;
 
+  sim::SimTime stall_delay = 0;
+  if (injector_ != nullptr) {
+    auto decision = injector_->NtbForwardDecision();
+    if (decision.action == fault::FaultInjector::LinkAction::kDrop) {
+      // Link is down: the posted write vanishes on the cable. The sender
+      // gets no error — recovering these bytes is the transport module's
+      // retransmit job.
+      ++dropped_writes_;
+      dropped_payload_bytes_ += len;
+      if (m_dropped_writes_) {
+        m_dropped_writes_->Add();
+        m_dropped_bytes_->Add(len);
+      }
+      return;
+    }
+    if (decision.action == fault::FaultInjector::LinkAction::kStall) {
+      stall_delay = decision.delay;
+    }
+  }
+
   // One cable transfer regardless of fan-out: the adapter replicates in
   // hardware on the far side of the link.
   uint64_t wire = pcie::WireBytesFor(len, config_.forward_chunk);
@@ -91,7 +114,7 @@ void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
   sim::SimTime cable_done = link_.Acquire(wire);
   if (m_link_busy_us_) m_link_busy_us_->Set(sim::ToUs(link_.busy_time()));
   sim_->ScheduleAt(
-      cable_done + config_.hop_latency,
+      cable_done + config_.hop_latency + stall_delay,
       [members = window->members, window_offset, copy = std::move(copy),
        chunk = config_.forward_chunk]() {
         for (const MulticastTarget& member : members) {

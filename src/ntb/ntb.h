@@ -10,6 +10,10 @@
 #include "pcie/fabric.h"
 #include "sim/bandwidth_server.h"
 
+namespace xssd::fault {
+class FaultInjector;
+}  // namespace xssd::fault
+
 namespace xssd::ntb {
 
 /// \brief NTB adapter/link parameters.
@@ -68,10 +72,15 @@ class NtbAdapter : public pcie::MmioDevice {
     return forwarded_payload_bytes_;
   }
   uint64_t forwarded_packets() const { return forwarded_packets_; }
+  /// Writes/bytes lost to injected link-down windows (flaps).
+  uint64_t dropped_writes() const { return dropped_writes_; }
+  uint64_t dropped_payload_bytes() const { return dropped_payload_bytes_; }
   void ResetStats() {
     forwarded_wire_bytes_ = 0;
     forwarded_payload_bytes_ = 0;
     forwarded_packets_ = 0;
+    dropped_writes_ = 0;
+    dropped_payload_bytes_ = 0;
   }
 
   const NtbConfig& config() const { return config_; }
@@ -80,6 +89,13 @@ class NtbAdapter : public pcie::MmioDevice {
   /// Register this adapter's metrics under `prefix` + "ntb.".
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
+
+  /// Attach a fault injector (nullptr detaches). Link-down windows silently
+  /// drop forwarded writes (the sender's posted write cannot tell); stall
+  /// windows add the injected delay on top of the hop latency.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
  private:
   struct Window {
@@ -98,16 +114,21 @@ class NtbAdapter : public pcie::MmioDevice {
   std::string name_;
   sim::BandwidthServer link_;
   std::vector<Window> windows_;
+  fault::FaultInjector* injector_ = nullptr;
 
   uint64_t forwarded_wire_bytes_ = 0;
   uint64_t forwarded_payload_bytes_ = 0;
   uint64_t forwarded_packets_ = 0;
+  uint64_t dropped_writes_ = 0;
+  uint64_t dropped_payload_bytes_ = 0;
 
   // Observability (null until SetMetrics).
   obs::Counter* m_wire_bytes_ = nullptr;
   obs::Counter* m_payload_bytes_ = nullptr;
   obs::Counter* m_packets_ = nullptr;
   obs::Counter* m_forwards_ = nullptr;
+  obs::Counter* m_dropped_writes_ = nullptr;
+  obs::Counter* m_dropped_bytes_ = nullptr;
   obs::Gauge* m_link_busy_us_ = nullptr;
 };
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace xssd::nvme {
 
@@ -105,9 +106,22 @@ void Controller::Execute(uint16_t qid, const Command& cmd) {
   };
   if (qid == 0) {
     ExecuteAdmin(qid, cmd, done);
-  } else {
-    ExecuteIo(qid, cmd, done);
+    return;
   }
+  if (injector_ != nullptr) {
+    auto decision = injector_->InjectNvmeTimeout();
+    if (decision.timeout) {
+      // The command is swallowed and surfaces only as a late error
+      // completion — the shape a host-side timeout + abort would take.
+      Completion cpl;
+      cpl.cid = cmd.cid;
+      cpl.status = CmdStatus::kInternalError;
+      sim_->Schedule(decision.delay,
+                     [done = std::move(done), cpl]() { done(cpl); });
+      return;
+    }
+  }
+  ExecuteIo(qid, cmd, done);
 }
 
 void Controller::ExecuteIo(uint16_t qid, const Command& cmd,

@@ -13,6 +13,10 @@
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
 
+namespace xssd::fault {
+class FaultInjector;
+}  // namespace xssd::fault
+
 namespace xssd::nvme {
 
 /// BAR0 register offsets (subset of the spec layout).
@@ -80,6 +84,12 @@ class Controller : public pcie::MmioDevice {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach a fault injector (nullptr detaches). Affects I/O queues only;
+  /// admin commands are exempt so setup/recovery tooling stays usable.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   struct QueueState {
     QueueConfig config;
@@ -104,6 +114,7 @@ class Controller : public pcie::MmioDevice {
   pcie::PcieFabric* fabric_;
   ftl::Ftl* ftl_;
   std::string name_;
+  fault::FaultInjector* injector_ = nullptr;
 
   QueueState queues_[kMaxQueues];
   InterruptHandler interrupt_;

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -23,6 +25,37 @@ std::string JsonNumber(double value);
 /// to prove exported snapshots and traces are well-formed; `error` (if
 /// non-null) receives a byte offset + reason on failure.
 bool IsValidJson(std::string_view text, std::string* error = nullptr);
+
+/// \brief Minimal JSON DOM for small config inputs (fault plans, tooling).
+///
+/// Deliberately tiny: values are held by value, object fields keep their
+/// source order, and numbers are doubles (the inputs this serves are
+/// microsecond offsets and probabilities, well inside double range).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                           ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  ///< kObject
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parse one JSON document (must consume the whole input). Rejects the
+/// same syntax IsValidJson rejects; additionally bounds nesting depth.
+Result<JsonValue> ParseJson(std::string_view text);
 
 /// \brief Snapshots a MetricsRegistry to machine-readable JSON.
 ///

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace xssd::pcie {
 
@@ -72,7 +73,7 @@ const PcieFabric::Region* PcieFabric::FindRegion(uint64_t addr) const {
 
 void PcieFabric::RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
                              const uint8_t* data, size_t len, uint32_t chunk,
-                             sim::Simulator::Callback posted) {
+                             sim::Simulator::Callback posted, bool peer_path) {
   const Region* region = FindRegion(addr);
   XSSD_CHECK(region != nullptr);
   XSSD_CHECK(addr + len <= region->base + region->size);
@@ -80,27 +81,41 @@ void PcieFabric::RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
 
   // One Acquire covers all TLPs of this write back-to-back on the link.
   uint64_t wire_bytes = WireBytesFor(len, chunk);
-  std::vector<uint8_t> copy(data, data + len);
+  size_t landed = len;
+  sim::SimTime extra_delay = 0;
+  if (injector_ != nullptr) {
+    extra_delay = injector_->InjectPcieStoreDelay();
+    if (peer_path) {
+      landed = static_cast<size_t>(injector_->InjectPcieTruncation(len));
+    }
+  }
+  std::vector<uint8_t> copy(data, data + landed);
   uint64_t offset = addr - region->base;
   MmioDevice* device = region->device;
   sim::SimTime done_at = server.Acquire(wire_bytes);
-  sim_->ScheduleAt(done_at + config_.propagation,
-                   [device, offset, copy = std::move(copy)]() {
-                     device->OnMmioWrite(offset, copy.data(), copy.size());
-                   });
+  if (landed > 0) {
+    sim_->ScheduleAt(done_at + config_.propagation + extra_delay,
+                     [device, offset, copy = std::move(copy)]() {
+                       device->OnMmioWrite(offset, copy.data(), copy.size());
+                     });
+  }
+  // The write stays posted: the sender sees acceptance onto the link, never
+  // the injected loss — exactly why posted-write faults are insidious.
   if (posted) sim_->ScheduleAt(done_at, std::move(posted));
 }
 
 void PcieFabric::HostWrite(uint64_t addr, const uint8_t* data, size_t len,
                            uint32_t chunk, sim::Simulator::Callback posted) {
   if (m_host_write_bytes_) m_host_write_bytes_->Add(len);
-  RoutedWrite(downstream_, addr, data, len, chunk, std::move(posted));
+  RoutedWrite(downstream_, addr, data, len, chunk, std::move(posted),
+              /*peer_path=*/false);
 }
 
 void PcieFabric::PeerWrite(uint64_t addr, const uint8_t* data, size_t len,
                            uint32_t chunk, sim::Simulator::Callback posted) {
   if (m_peer_write_bytes_) m_peer_write_bytes_->Add(len);
-  RoutedWrite(peer_, addr, data, len, chunk, std::move(posted));
+  RoutedWrite(peer_, addr, data, len, chunk, std::move(posted),
+              /*peer_path=*/true);
 }
 
 void PcieFabric::HostRead(uint64_t addr, size_t len,

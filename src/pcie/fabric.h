@@ -13,6 +13,10 @@
 #include "sim/bandwidth_server.h"
 #include "sim/simulator.h"
 
+namespace xssd::fault {
+class FaultInjector;
+}  // namespace xssd::fault
+
 namespace xssd::pcie {
 
 /// Receiver of memory-mapped traffic (a BAR region). Offsets are relative to
@@ -118,6 +122,15 @@ class PcieFabric {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach a fault injector (nullptr detaches). Store-delay faults apply
+  /// to every routed write; truncation applies only to the peer path — a
+  /// truncated host store would gap the log stream forever (the host never
+  /// re-sends), whereas a truncated peer store is healed by the transport
+  /// module's retransmit.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   struct Region {
     uint64_t base;
@@ -132,9 +145,10 @@ class PcieFabric {
   /// Common write path for HostWrite/PeerWrite.
   void RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
                    const uint8_t* data, size_t len, uint32_t chunk,
-                   sim::Simulator::Callback posted);
+                   sim::Simulator::Callback posted, bool peer_path);
 
   sim::Simulator* sim_;
+  fault::FaultInjector* injector_ = nullptr;
   FabricConfig config_;
   std::string name_;
   double link_bytes_per_sec_;

@@ -1,0 +1,188 @@
+// Injected flash faults and the layers that absorb them: the array grows
+// bad blocks, the FTL retires them and retries, the destage path re-issues.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "flash/array.h"
+#include "ftl/ftl.h"
+#include "host/node.h"
+#include "host/sync.h"
+#include "host/xcalls.h"
+
+namespace xssd {
+namespace {
+
+flash::Geometry SmallGeometry() {
+  flash::Geometry geometry;
+  geometry.channels = 2;
+  geometry.dies_per_channel = 2;
+  geometry.blocks_per_plane = 16;
+  geometry.pages_per_block = 32;
+  return geometry;
+}
+
+fault::FaultPlan OneFault(fault::FaultKind kind, sim::SimTime at = 0,
+                          sim::SimTime duration = fault::FaultSpec::kForever) {
+  fault::FaultPlan plan;
+  plan.name = "one";
+  fault::FaultSpec spec;
+  spec.kind = kind;
+  spec.at = at;
+  spec.duration = duration;
+  plan.faults.push_back(spec);
+  return plan;
+}
+
+TEST(FaultFlashTest, InjectedProgramFailGrowsBadBlock) {
+  sim::Simulator sim;
+  flash::Array array(&sim, SmallGeometry(), flash::Timing{},
+                     flash::Reliability{}, 1);
+  fault::FaultInjector injector(
+      &sim, OneFault(fault::FaultKind::kFlashProgramFail, 0, sim::Us(1)), 1);
+  array.set_fault_injector(&injector);
+
+  flash::Address addr{0, 0, 0, 0, 0};
+  Status result = Status::OK();
+  std::vector<uint8_t> page(SmallGeometry().page_bytes, 0x5A);
+  array.Program(addr, page, [&](Status status) { result = status; });
+  sim.Run();
+
+  EXPECT_EQ(result.code(), StatusCode::kIoError);
+  EXPECT_TRUE(array.IsBadBlock(addr));
+  EXPECT_EQ(array.stats().program_failures, 1u);
+  EXPECT_EQ(injector.totals().flash_program_fails, 1u);
+
+  // Outside the window the array behaves normally again (fresh block).
+  sim.RunFor(sim::Ms(1));
+  flash::Address good{0, 0, 0, 1, 0};
+  result = Status::IoError("unset");
+  array.Program(good, page, [&](Status status) { result = status; });
+  sim.Run();
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(FaultFlashTest, InjectedEraseFailRetiresBlock) {
+  sim::Simulator sim;
+  flash::Array array(&sim, SmallGeometry(), flash::Timing{},
+                     flash::Reliability{}, 1);
+  fault::FaultInjector injector(
+      &sim, OneFault(fault::FaultKind::kFlashEraseFail), 1);
+  array.set_fault_injector(&injector);
+
+  flash::Address addr{0, 0, 0, 0, 0};
+  Status result = Status::OK();
+  array.Erase(addr, [&](Status status) { result = status; });
+  sim.Run();
+
+  EXPECT_EQ(result.code(), StatusCode::kIoError);
+  EXPECT_TRUE(array.IsBadBlock(addr));
+  EXPECT_EQ(array.stats().erase_failures, 1u);
+
+  // A bad block refuses further work without consuming die time.
+  Status second = Status::OK();
+  array.Erase(addr, [&](Status status) { second = status; });
+  sim.Run();
+  EXPECT_FALSE(second.ok());
+  EXPECT_GE(array.stats().bad_block_rejects, 1u);
+}
+
+TEST(FaultFlashTest, InjectedUncorrectableReadReturnsCorruption) {
+  sim::Simulator sim;
+  flash::Array array(&sim, SmallGeometry(), flash::Timing{},
+                     flash::Reliability{}, 1);
+  flash::Address addr{0, 0, 0, 0, 0};
+  std::vector<uint8_t> page(SmallGeometry().page_bytes, 0x77);
+  Status programmed = Status::IoError("unset");
+  array.Program(addr, page, [&](Status status) { programmed = status; });
+  sim.Run();
+  ASSERT_TRUE(programmed.ok());
+
+  fault::FaultInjector injector(
+      &sim, OneFault(fault::FaultKind::kFlashReadUncorrectable), 1);
+  array.set_fault_injector(&injector);
+
+  Status read_status = Status::OK();
+  array.Read(addr, [&](Status status, std::vector<uint8_t>) {
+    read_status = status;
+  });
+  sim.Run();
+  EXPECT_EQ(read_status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(array.stats().uncorrectable_reads, 1u);
+
+  // Detach: the same page reads back clean — the medium was never damaged.
+  array.set_fault_injector(nullptr);
+  std::vector<uint8_t> out;
+  array.Read(addr, [&](Status status, std::vector<uint8_t> data) {
+    read_status = status;
+    out = std::move(data);
+  });
+  sim.Run();
+  EXPECT_TRUE(read_status.ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST(FaultFlashTest, FtlRetiresInjectedBadBlockAndRetries) {
+  sim::Simulator sim;
+  flash::Array array(&sim, SmallGeometry(), flash::Timing{},
+                     flash::Reliability{}, 1);
+  ftl::Ftl ftl(&sim, &array, ftl::FtlConfig{});
+  // Fail every program for a short burst, then recover; the FTL must chew
+  // through retired blocks until a program lands.
+  fault::FaultInjector injector(
+      &sim, OneFault(fault::FaultKind::kFlashProgramFail, 0, sim::Ms(2)), 1);
+  array.set_fault_injector(&injector);
+
+  Status result = Status::IoError("unset");
+  std::vector<uint8_t> data(ftl.page_bytes(), 0x3C);
+  ftl.WriteDirect(ftl::IoClass::kDestage, 0, data,
+                  [&](Status status) { result = status; });
+  sim.Run();
+
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  EXPECT_GE(ftl.stats().bad_block_retires, 1u);
+  EXPECT_GE(injector.totals().flash_program_fails, 1u);
+}
+
+TEST(FaultFlashTest, DestageRetriesThroughProgramFailBurst) {
+  // End-to-end: a program-fail burst hits while the destage module moves
+  // the ring to flash. The FTL retires blocks, the destage module re-issues
+  // on top, and every appended byte still lands on the conventional side.
+  sim::Simulator sim;
+  core::VillarsConfig config;
+  config.geometry = SmallGeometry();
+  config.destage.ring_lba_count = 64;
+  host::StorageNode node(&sim, config, pcie::FabricConfig{}, "ffail");
+  ASSERT_TRUE(node.Init().ok());
+
+  fault::FaultInjector injector(
+      &sim,
+      OneFault(fault::FaultKind::kFlashProgramFail, sim::Us(20), sim::Us(400)),
+      1);
+  node.ArmFaults(&injector);
+  obs::MetricsRegistry registry;
+  injector.SetMetrics(&registry);
+  node.EnableMetrics(&registry);
+
+  std::vector<uint8_t> wal(40000);
+  for (size_t i = 0; i < wal.size(); ++i) wal[i] = static_cast<uint8_t>(i * 7);
+  ASSERT_EQ(host::x_pwrite(sim, node.client(), wal.data(), wal.size()),
+            static_cast<ssize_t>(wal.size()));
+  ASSERT_EQ(host::x_fsync(sim, node.client()), 0);
+  sim.RunFor(sim::Ms(20));  // let destaging finish through the retries
+
+  EXPECT_GE(injector.totals().flash_program_fails, 1u);
+  EXPECT_GE(node.device().destage().destaged(), wal.size());
+
+  // The destaged bytes read back exactly.
+  std::vector<uint8_t> tail(wal.size());
+  ASSERT_EQ(host::x_pread(sim, node.client(), node.driver(), tail.data(),
+                          tail.size()),
+            static_cast<ssize_t>(tail.size()));
+  EXPECT_EQ(tail, wal);
+  EXPECT_EQ(registry.GetCounter("fault.flash.program_fails")->value(),
+            injector.totals().flash_program_fails);
+}
+
+}  // namespace
+}  // namespace xssd

@@ -1,0 +1,176 @@
+// FaultInjector semantics: window gating, seeded determinism, crash-once,
+// site matching, and the fault.* metric registration.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace xssd::fault {
+namespace {
+
+FaultPlan PlanOf(std::vector<FaultSpec> faults) {
+  FaultPlan plan;
+  plan.name = "test";
+  plan.faults = std::move(faults);
+  return plan;
+}
+
+TEST(FaultInjectorTest, WindowGatesInjection) {
+  sim::Simulator sim;
+  FaultSpec spec;
+  spec.kind = FaultKind::kFlashProgramFail;
+  spec.at = sim::Us(100);
+  spec.duration = sim::Us(50);
+  FaultInjector injector(&sim, PlanOf({spec}), 1);
+
+  EXPECT_FALSE(injector.InjectFlashProgramFail());  // before the window
+  sim.RunFor(sim::Us(100));
+  EXPECT_TRUE(injector.InjectFlashProgramFail());   // at window start
+  sim.RunFor(sim::Us(49));
+  EXPECT_TRUE(injector.InjectFlashProgramFail());   // last covered instant
+  sim.RunFor(sim::Us(1));
+  EXPECT_FALSE(injector.InjectFlashProgramFail());  // window end is exclusive
+  EXPECT_EQ(injector.totals().flash_program_fails, 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticDrawsAreSeedDeterministic) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNvmeTimeout;
+  spec.probability = 0.5;
+
+  auto draw_pattern = [&](uint64_t seed) {
+    sim::Simulator sim;
+    FaultInjector injector(&sim, PlanOf({spec}), seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(injector.InjectNvmeTimeout().timeout);
+    }
+    return pattern;
+  };
+
+  EXPECT_EQ(draw_pattern(7), draw_pattern(7));
+  EXPECT_NE(draw_pattern(7), draw_pattern(8));
+}
+
+TEST(FaultInjectorTest, NtbDropTakesPrecedenceOverStall) {
+  sim::Simulator sim;
+  FaultSpec down;
+  down.kind = FaultKind::kNtbLinkDown;
+  FaultSpec stall;
+  stall.kind = FaultKind::kNtbLinkStall;
+  stall.delay = sim::Us(3);
+  FaultInjector injector(&sim, PlanOf({stall, down}), 1);
+
+  FaultInjector::NtbDecision decision = injector.NtbForwardDecision();
+  EXPECT_EQ(decision.action, FaultInjector::LinkAction::kDrop);
+  EXPECT_EQ(injector.totals().ntb_dropped, 1u);
+  EXPECT_EQ(injector.totals().ntb_stalled, 0u);
+}
+
+TEST(FaultInjectorTest, StallCarriesConfiguredDelay) {
+  sim::Simulator sim;
+  FaultSpec stall;
+  stall.kind = FaultKind::kNtbLinkStall;
+  stall.delay = sim::Us(7);
+  FaultInjector injector(&sim, PlanOf({stall}), 1);
+
+  FaultInjector::NtbDecision decision = injector.NtbForwardDecision();
+  EXPECT_EQ(decision.action, FaultInjector::LinkAction::kStall);
+  EXPECT_EQ(decision.delay, sim::Us(7));
+}
+
+TEST(FaultInjectorTest, TruncationKeepsAtLeastOneByteAndLosesAtLeastOne) {
+  sim::Simulator sim;
+  FaultSpec trunc;
+  trunc.kind = FaultKind::kPcieStoreTruncate;
+  FaultInjector injector(&sim, PlanOf({trunc}), 3);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t landed = injector.InjectPcieTruncation(64);
+    EXPECT_GE(landed, 1u);
+    EXPECT_LT(landed, 64u);
+  }
+  EXPECT_EQ(injector.totals().pcie_truncated, 100u);
+}
+
+TEST(FaultInjectorTest, NoTruncationClausePassesFullLength) {
+  sim::Simulator sim;
+  FaultInjector injector(&sim, PlanOf({}), 3);
+  EXPECT_EQ(injector.InjectPcieTruncation(64), 64u);
+  EXPECT_EQ(injector.InjectPcieStoreDelay(), 0u);
+  EXPECT_FALSE(injector.InjectNvmeTimeout().timeout);
+}
+
+TEST(FaultInjectorTest, CrashSiteMatchesExactOrDeviceTail) {
+  auto crashes_at = [](const std::string& spec_site,
+                       const std::string& announced) {
+    sim::Simulator sim;
+    FaultSpec crash;
+    crash.kind = FaultKind::kCrash;
+    crash.site = spec_site;
+    FaultInjector injector(&sim, PlanOf({crash}), 1);
+    return injector.CrashPoint(announced);
+  };
+
+  EXPECT_TRUE(crashes_at("destage.emit_page", "destage.emit_page"));
+  EXPECT_TRUE(crashes_at("destage.emit_page", "pri/destage.emit_page"));
+  EXPECT_TRUE(crashes_at("pri/destage.emit_page", "pri/destage.emit_page"));
+  EXPECT_FALSE(crashes_at("pri/destage.emit_page", "sec/destage.emit_page"));
+  EXPECT_FALSE(crashes_at("destage.emit_page", "xdestage.emit_page"));
+  EXPECT_FALSE(crashes_at("destage.emit_page", "destage.page_complete"));
+}
+
+TEST(FaultInjectorTest, CrashFiresOnceAfterNHitsThenDisablesEverything) {
+  sim::Simulator sim;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.site = "cmb.persist";
+  crash.after_hits = 3;
+  crash.graceful = false;
+  FaultSpec prog;
+  prog.kind = FaultKind::kFlashProgramFail;
+  FaultInjector injector(&sim, PlanOf({crash, prog}), 1);
+
+  int handler_calls = 0;
+  injector.SetCrashHandler([&](const FaultSpec& spec) {
+    ++handler_calls;
+    EXPECT_FALSE(spec.graceful);
+  });
+
+  EXPECT_TRUE(injector.InjectFlashProgramFail());  // alive before the crash
+  EXPECT_FALSE(injector.CrashPoint("dev/cmb.persist"));  // hit 1
+  EXPECT_FALSE(injector.CrashPoint("dev/cmb.persist"));  // hit 2
+  EXPECT_TRUE(injector.CrashPoint("dev/cmb.persist"));   // hit 3 fires
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_EQ(handler_calls, 1);
+
+  // Post-crash, every hook reports "no fault" so recovery runs clean.
+  EXPECT_FALSE(injector.CrashPoint("dev/cmb.persist"));
+  EXPECT_FALSE(injector.InjectFlashProgramFail());
+  EXPECT_EQ(injector.NtbForwardDecision().action,
+            FaultInjector::LinkAction::kForward);
+  EXPECT_EQ(injector.totals().crashes, 1u);
+}
+
+TEST(FaultInjectorTest, MetricsMirrorTotals) {
+  sim::Simulator sim;
+  FaultSpec prog;
+  prog.kind = FaultKind::kFlashProgramFail;
+  FaultSpec timeout;
+  timeout.kind = FaultKind::kNvmeTimeout;
+  FaultInjector injector(&sim, PlanOf({prog, timeout}), 1);
+
+  obs::MetricsRegistry registry;
+  injector.SetMetrics(&registry);
+  injector.InjectFlashProgramFail();
+  injector.InjectFlashProgramFail();
+  injector.InjectNvmeTimeout();
+
+  EXPECT_EQ(registry.GetCounter("fault.flash.program_fails")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("fault.nvme.timeouts")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("fault.crashes")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace xssd::fault
