@@ -1,0 +1,280 @@
+#include "check/reference_model.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace xssd::check {
+
+namespace {
+
+std::string Hex(uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+}  // namespace
+
+void ReferenceModel::Fail(const char* rule, std::string detail) {
+  divergences_.push_back(Divergence{rule, std::move(detail)});
+}
+
+std::string ReferenceModel::Describe() const {
+  if (divergences_.empty()) return "";
+  return divergences_.front().ToString();
+}
+
+void ReferenceModel::ReportFailure(const std::string& rule,
+                                   const std::string& detail) {
+  divergences_.push_back(Divergence{rule, detail});
+}
+
+void ReferenceModel::OnAppend(const uint8_t* data, size_t len) {
+  stream_.insert(stream_.end(), data, data + len);
+}
+
+void ReferenceModel::OnArrival(uint64_t stream_offset, const uint8_t* data,
+                               size_t len) {
+  if (stream_offset + len > stream_.size()) {
+    Fail("arrival.bounds",
+         "chunk [" + std::to_string(stream_offset) + ", " +
+             std::to_string(stream_offset + len) + ") beyond appended total " +
+             std::to_string(stream_.size()));
+    return;
+  }
+  if (std::memcmp(stream_.data() + stream_offset, data, len) != 0) {
+    Fail("arrival.bytes", "chunk at offset " + std::to_string(stream_offset) +
+                              " (" + std::to_string(len) +
+                              " bytes) differs from the appended stream");
+  }
+  arrived_.Insert(stream_offset, stream_offset + len);
+}
+
+void ReferenceModel::OnCredit(uint64_t credit) {
+  if (credit < credit_) {
+    Fail("credit.monotonic", "credit moved backwards: " +
+                                 std::to_string(credit_) + " -> " +
+                                 std::to_string(credit));
+    return;
+  }
+  // Figure 5 ordering: the counter may only cover bytes whose store *and*
+  // persist both happened — i.e. the contiguous prefix of observed arrivals.
+  uint64_t arrived_prefix = arrived_.ContiguousEnd(0);
+  if (credit > arrived_prefix) {
+    Fail("credit.persist_order",
+         "credit " + std::to_string(credit) +
+             " acknowledges bytes beyond the contiguous arrived prefix " +
+             std::to_string(arrived_prefix) +
+             " (credit advanced before persistence)");
+  }
+  if (credit > stream_.size()) {
+    Fail("credit.bounds", "credit " + std::to_string(credit) +
+                              " beyond appended total " +
+                              std::to_string(stream_.size()));
+  }
+  credit_ = credit;
+}
+
+void ReferenceModel::OnEmit(const core::DestagePageHeader& header,
+                            uint64_t lba) {
+  if (header.sequence != next_sequence_) {
+    Fail("destage.sequence",
+         "page sequence " + std::to_string(header.sequence) + ", expected " +
+             std::to_string(next_sequence_));
+  }
+  if (header.stream_offset != destage_cursor_) {
+    Fail("destage.chain",
+         "page stream offset " + std::to_string(header.stream_offset) +
+             " does not chain from cursor " + std::to_string(destage_cursor_));
+  }
+  uint64_t expect_lba =
+      ring_start_lba_ + (header.sequence % ring_lba_count_);
+  if (lba != expect_lba) {
+    Fail("destage.ring_position",
+         "page " + std::to_string(header.sequence) + " issued to lba " +
+             std::to_string(lba) + ", ring law demands " +
+             std::to_string(expect_lba));
+  }
+  if (header.stream_offset + header.data_len > credit_) {
+    Fail("destage.credit_fence",
+         "page covers [" + std::to_string(header.stream_offset) + ", " +
+             std::to_string(header.stream_offset + header.data_len) +
+             ") beyond credit " + std::to_string(credit_) +
+             " (destaged unpersisted bytes)");
+  }
+  if (header.data_len == 0) {
+    Fail("destage.empty",
+         "zero-length page " + std::to_string(header.sequence));
+  }
+  if (header.epoch != epoch_) {
+    Fail("destage.epoch", "page stamped epoch " + std::to_string(header.epoch) +
+                              ", device is in epoch " + std::to_string(epoch_));
+  }
+  next_sequence_ = header.sequence + 1;
+  destage_cursor_ = header.stream_offset + header.data_len;
+}
+
+void ReferenceModel::OnPageDurable(uint64_t begin, uint64_t end) {
+  if (end <= begin || end > destage_cursor_) {
+    Fail("durable.bounds", "durable extent [" + std::to_string(begin) + ", " +
+                               std::to_string(end) +
+                               ") not within issued range (cursor " +
+                               std::to_string(destage_cursor_) + ")");
+    return;
+  }
+  durable_.Insert(begin, end);
+}
+
+void ReferenceModel::OnDestaged(uint64_t destaged) {
+  if (destaged < destaged_) {
+    Fail("destaged.monotonic", "destaged moved backwards: " +
+                                   std::to_string(destaged_) + " -> " +
+                                   std::to_string(destaged));
+    return;
+  }
+  uint64_t durable_prefix = durable_.ContiguousEnd(0);
+  if (destaged != durable_prefix) {
+    Fail("destaged.prefix",
+         "destaged counter " + std::to_string(destaged) +
+             " != contiguous durable prefix " + std::to_string(durable_prefix));
+  }
+  if (destaged > credit_) {
+    Fail("destaged.credit_fence", "destaged " + std::to_string(destaged) +
+                                      " beyond credit " +
+                                      std::to_string(credit_));
+  }
+  destaged_ = destaged;
+}
+
+void ReferenceModel::OnShadow(uint32_t index, uint64_t value) {
+  if (index >= core::kMaxPeers) {
+    Fail("shadow.index", "shadow index " + std::to_string(index) +
+                             " out of range (max " +
+                             std::to_string(core::kMaxPeers) + ")");
+    return;
+  }
+  if (value < shadows_[index]) {
+    Fail("shadow.monotonic",
+         "shadow[" + std::to_string(index) + "] moved backwards: " +
+             std::to_string(shadows_[index]) + " -> " + std::to_string(value));
+    return;
+  }
+  if (value > stream_.size()) {
+    Fail("shadow.bounds", "shadow[" + std::to_string(index) + "] = " +
+                              std::to_string(value) +
+                              " beyond appended total " +
+                              std::to_string(stream_.size()));
+  }
+  shadows_[index] = value;
+}
+
+void ReferenceModel::OnSyncComplete(uint64_t written, uint64_t credit_observed,
+                                    bool ok, bool halted) {
+  if (ok && credit_observed < written) {
+    Fail("fsync.durability",
+         "fsync succeeded with protocol credit " +
+             std::to_string(credit_observed) + " < write position " +
+             std::to_string(written) + " (acknowledged undurable bytes)");
+  }
+  if (!ok && !halted) {
+    Fail("fsync.spurious_failure",
+         "fsync failed against a live device (credit " +
+             std::to_string(credit_observed) + ", written " +
+             std::to_string(written) + ")");
+  }
+}
+
+void ReferenceModel::OnTailRead(const std::vector<uint8_t>& data) {
+  uint64_t begin = tail_read_;
+  uint64_t end = begin + data.size();
+  if (end > stream_.size()) {
+    Fail("read.bounds", "tail read [" + std::to_string(begin) + ", " +
+                            std::to_string(end) + ") beyond appended total " +
+                            std::to_string(stream_.size()));
+    return;
+  }
+  if (!data.empty() &&
+      std::memcmp(stream_.data() + begin, data.data(), data.size()) != 0) {
+    Fail("read.bytes", "tail read at offset " + std::to_string(begin) + " (" +
+                           std::to_string(data.size()) +
+                           " bytes) differs from the appended stream");
+  }
+  tail_read_ = end;
+}
+
+void ReferenceModel::OnCrash(bool graceful, uint64_t credit_at_halt,
+                             uint64_t destaged_settled) {
+  crashed_ = true;
+  crash_graceful_ = graceful;
+  // Graceful halt (paper §4.1 crash protocol): the supercap flush destages
+  // every persisted byte, so the whole credit must be recoverable. Hard
+  // crash: only what was already settled in flash survives.
+  durable_lower_bound_ = graceful ? credit_at_halt : destaged_settled;
+}
+
+void ReferenceModel::OnRecovery(uint64_t start_offset,
+                                const std::vector<uint8_t>& data,
+                                uint32_t epoch) {
+  uint64_t end = start_offset + data.size();
+  if (end > stream_.size()) {
+    Fail("recovery.bounds",
+         "recovered [" + std::to_string(start_offset) + ", " +
+             std::to_string(end) + ") beyond appended total " +
+             std::to_string(stream_.size()) + " (fabricated bytes)");
+    return;
+  }
+  if (durable_lower_bound_ > 0) {
+    if (start_offset > 0 && start_offset > destaged_) {
+      // The log may begin past 0 once the ring wrapped/trimmed, but never
+      // past what had settled — that would open a gap in the prefix.
+      Fail("recovery.gap", "recovered log starts at " +
+                               std::to_string(start_offset) +
+                               " past settled progress " +
+                               std::to_string(destaged_));
+    }
+    if (end < durable_lower_bound_) {
+      Fail("recovery.durable_prefix",
+           "recovered log ends at " + std::to_string(end) +
+               " short of the durable lower bound " +
+               std::to_string(durable_lower_bound_) +
+               (crash_graceful_ ? " (graceful halt promised the full credit)"
+                                : " (settled destage progress lost)"));
+    }
+  }
+  if (!data.empty() &&
+      std::memcmp(stream_.data() + start_offset, data.data(), data.size()) !=
+          0) {
+    Fail("recovery.bytes",
+         "recovered bytes at offset " + std::to_string(start_offset) + " (" +
+             std::to_string(data.size()) +
+             " bytes) differ from the appended stream");
+  }
+  if (!data.empty() && epoch != epoch_) {
+    Fail("recovery.epoch",
+         "recovered log stamped epoch " + std::to_string(epoch) +
+             ", crash happened in epoch " + std::to_string(epoch_) + " (" +
+             Hex(epoch) + " vs " + Hex(epoch_) + ")");
+  }
+}
+
+void ReferenceModel::OnReboot() {
+  // A reboot starts a fresh epoch with an empty stream: the recovered log
+  // is re-appended by the host through the normal path, so the model's
+  // reference stream rebuilds through OnAppend like any other data.
+  stream_.clear();
+  arrived_.Clear();
+  credit_ = 0;
+  next_sequence_ = 0;
+  destage_cursor_ = 0;
+  destaged_ = 0;
+  durable_.Clear();
+  for (auto& s : shadows_) s = 0;
+  tail_read_ = 0;
+  ++epoch_;
+  crashed_ = false;
+  crash_graceful_ = false;
+  durable_lower_bound_ = 0;
+}
+
+}  // namespace xssd::check

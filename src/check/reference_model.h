@@ -1,0 +1,155 @@
+#ifndef XSSD_CHECK_REFERENCE_MODEL_H_
+#define XSSD_CHECK_REFERENCE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/page_format.h"
+#include "core/registers.h"
+#include "sim/interval_set.h"
+
+namespace xssd::check {
+
+/// One rule violation observed by the reference model.
+struct Divergence {
+  std::string rule;    ///< stable rule id, e.g. "credit.monotonic"
+  std::string detail;  ///< human-readable counterexample description
+
+  std::string ToString() const { return rule + ": " + detail; }
+};
+
+/// \brief Executable specification of the X-SSD observable contract
+/// (paper §4.1–§4.3), with no simulation, queues, or timing.
+///
+/// The model is fed two kinds of facts:
+///  - *host facts* (OnAppend): what the workload submitted, which defines
+///    the reference byte stream;
+///  - *device observations* (everything else): each protocol step the real
+///    stack performs, tapped via the observation hooks in src/core.
+///
+/// Every observation is checked against the rules below; a violation is
+/// recorded as a Divergence (the model never throws and keeps accepting
+/// observations, so a harness can report the first divergence and stop).
+///
+/// Rules enforced:
+///  - credit: monotonic within an epoch, never beyond the contiguous
+///    prefix of arrived bytes, never beyond the appended total
+///    (append → credit-advance ordering, Figure 5);
+///  - arrivals: byte-exact against the reference stream, within bounds;
+///  - destage: pages issue strictly in stream order with consecutive
+///    sequence numbers, chaining stream offsets, the ring-position law
+///    lba = start + seq % count, only over credited bytes (§4.3);
+///  - destaged counter: advances exactly over the contiguous prefix of
+///    durable page extents, never past the credit;
+///  - shadow counters: per-secondary monotonic, never beyond the appended
+///    total (§4.2);
+///  - fsync: a successful sync implies the observed credit covered every
+///    byte written before the sync; a failed sync is only legal against a
+///    halted device;
+///  - tail reads: byte-exact, sequential;
+///  - recovery: returns a contiguous run that covers the durable lower
+///    bound (credit at a graceful halt, settled destage progress at a hard
+///    one), byte-exact against the reference stream, never containing
+///    bytes that were never appended, stamped with the pre-crash epoch.
+class ReferenceModel {
+ public:
+  ReferenceModel(uint64_t ring_start_lba, uint64_t ring_lba_count)
+      : ring_start_lba_(ring_start_lba), ring_lba_count_(ring_lba_count) {}
+
+  // -- Host facts -----------------------------------------------------------
+
+  /// The workload appended `len` bytes; they extend the reference stream.
+  void OnAppend(const uint8_t* data, size_t len);
+
+  uint64_t appended() const { return stream_.size(); }
+  const std::vector<uint8_t>& stream() const { return stream_; }
+
+  // -- Device observations --------------------------------------------------
+
+  /// A chunk landed on the CMB window (CmbModule arrival observer).
+  void OnArrival(uint64_t stream_offset, const uint8_t* data, size_t len);
+
+  /// The local credit counter advanced (CmbModule credit observer).
+  void OnCredit(uint64_t credit);
+
+  /// A destage page was built and issued (DestageModule emit observer).
+  void OnEmit(const core::DestagePageHeader& header, uint64_t lba);
+
+  /// A destage page became durable in flash (durable observer).
+  void OnPageDurable(uint64_t begin, uint64_t end);
+
+  /// The in-order destaged counter advanced (destaged observer).
+  void OnDestaged(uint64_t destaged);
+
+  /// Secondary `index`'s shadow counter advanced to `value`.
+  void OnShadow(uint32_t index, uint64_t value);
+
+  // -- Host-visible postconditions ------------------------------------------
+
+  /// An x_fsync completed. `written` is the client's append position when
+  /// the sync was issued, `credit_observed` the protocol credit the client
+  /// saw at completion, `halted` whether the device was halted.
+  void OnSyncComplete(uint64_t written, uint64_t credit_observed, bool ok,
+                      bool halted);
+
+  /// An x_pread-style tail read returned `data` (reads are sequential).
+  void OnTailRead(const std::vector<uint8_t>& data);
+
+  /// The device halted. For a graceful halt (supercap flush) every
+  /// acknowledged byte must survive; for a hard crash only the settled
+  /// destage progress is promised.
+  void OnCrash(bool graceful, uint64_t credit_at_halt,
+               uint64_t destaged_settled);
+
+  /// Post-crash recovery returned [start_offset, start_offset + data size)
+  /// from epoch `epoch` (checked only when data is non-empty).
+  void OnRecovery(uint64_t start_offset, const std::vector<uint8_t>& data,
+                  uint32_t epoch);
+
+  /// The device rebooted into a fresh epoch: the stream restarts at 0.
+  void OnReboot();
+
+  /// Harness-level rule violation (e.g. convergence timeout) recorded
+  /// alongside the model's own.
+  void ReportFailure(const std::string& rule, const std::string& detail);
+
+  // -- Results --------------------------------------------------------------
+
+  bool ok() const { return divergences_.empty(); }
+  const std::vector<Divergence>& divergences() const { return divergences_; }
+  /// First divergence as "rule: detail", or "" when clean.
+  std::string Describe() const;
+
+  uint64_t credit() const { return credit_; }
+  uint64_t destaged() const { return destaged_; }
+  uint32_t epoch() const { return epoch_; }
+  bool crashed() const { return crashed_; }
+  uint64_t durable_lower_bound() const { return durable_lower_bound_; }
+
+ private:
+  void Fail(const char* rule, std::string detail);
+
+  uint64_t ring_start_lba_;
+  uint64_t ring_lba_count_;
+
+  std::vector<uint8_t> stream_;  ///< reference bytes of the current epoch
+  sim::IntervalSet arrived_;
+  uint64_t credit_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t destage_cursor_ = 0;
+  uint64_t destaged_ = 0;
+  sim::IntervalSet durable_;
+  uint64_t shadows_[core::kMaxPeers] = {0};
+  uint64_t tail_read_ = 0;
+  uint32_t epoch_ = 0;
+  bool crashed_ = false;
+  bool crash_graceful_ = false;
+  uint64_t durable_lower_bound_ = 0;
+
+  std::vector<Divergence> divergences_;
+};
+
+}  // namespace xssd::check
+
+#endif  // XSSD_CHECK_REFERENCE_MODEL_H_

@@ -1,0 +1,90 @@
+#ifndef XSSD_CHECK_SCHEDULE_H_
+#define XSSD_CHECK_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "fault/fault_plan.h"
+
+namespace xssd::check {
+
+/// One step of a conformance schedule. Host ops execute in list order;
+/// fault/crash clauses carry their own virtual-time windows and are
+/// compiled into a fault::FaultPlan before the run starts, so the list is
+/// uniform for the shrinker: dropping any Op yields a valid schedule.
+struct Op {
+  enum class Kind {
+    kAppend,  ///< append `len` bytes of the deterministic payload
+    kFsync,   ///< x_fsync and check the durability postcondition
+    kRead,    ///< tail-read up to `len` bytes (clamped to appended)
+    kFault,   ///< windowed fault clause (kind/at/duration/probability/delay)
+    kCrash,   ///< crash clause at a named site (site/after_hits/graceful)
+  };
+
+  Kind kind = Kind::kAppend;
+
+  // kAppend / kRead
+  uint32_t len = 0;
+
+  // kFault
+  fault::FaultKind fault = fault::FaultKind::kFlashProgramFail;
+  uint64_t at_us = 0;
+  uint64_t duration_us = 0;  ///< 0 = open-ended window
+  double probability = 1.0;
+  uint64_t delay_us = 0;
+
+  // kCrash
+  std::string site;
+  uint32_t after_hits = 1;
+  bool graceful = true;
+};
+
+/// A complete, self-describing fuzz case: topology + op list. Two runs of
+/// the same Schedule produce bit-identical simulations (the only entropy
+/// is `seed`, which feeds the fault injector's probability draws).
+struct Schedule {
+  uint64_t seed = 0;
+  core::ReplicationProtocol protocol = core::ReplicationProtocol::kEager;
+  uint32_t secondaries = 0;  ///< 0 = standalone
+  std::vector<Op> ops;
+
+  bool HasCrash() const;
+  uint64_t TotalAppendBytes() const;
+
+  /// Compile the fault/crash clauses into an injector plan.
+  fault::FaultPlan CompileFaultPlan(const std::string& name) const;
+};
+
+/// Payload byte at absolute stream offset `offset` for run seed `seed`.
+/// Keyed on the absolute offset so a shrunk schedule (fewer/smaller
+/// appends) still writes the same bytes at the offsets it keeps — the
+/// reference stream stays comparable across shrink attempts.
+inline uint8_t PayloadByte(uint64_t seed, uint64_t offset) {
+  uint64_t x = offset * 0x9E3779B97F4A7C15ull ^ seed;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  return static_cast<uint8_t>(x);
+}
+
+/// Derive a schedule from `seed`: a replication topology (standalone or
+/// 1-2 secondaries, protocol drawn uniformly) and about `target_ops`
+/// interleaved appends, fsyncs, tail reads, windowed faults, and at most
+/// one crash/recovery. Same (seed, target_ops) -> same schedule, on every
+/// platform (only sim::Rng arithmetic, no std:: distributions).
+Schedule GenerateSchedule(uint64_t seed, size_t target_ops);
+
+/// Human-readable, replayable text form (dumped next to counterexamples).
+std::string ToText(const Schedule& schedule);
+
+/// Parse the ToText format. Unknown directives are hard errors so dumped
+/// traces cannot silently drift from the runner.
+Result<Schedule> ScheduleFromText(std::string_view text);
+
+}  // namespace xssd::check
+
+#endif  // XSSD_CHECK_SCHEDULE_H_

@@ -1,0 +1,124 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+namespace xssd::check {
+
+namespace {
+
+/// One bounded oracle query: does `candidate` still fail?
+class Oracle {
+ public:
+  Oracle(const CheckOptions& options, size_t max_runs)
+      : options_(options), max_runs_(max_runs) {}
+
+  bool Fails(const Schedule& candidate, std::string* divergence) {
+    if (runs_ >= max_runs_) return false;  // budget spent: accept nothing
+    ++runs_;
+    CheckResult result = RunSchedule(candidate, options_);
+    if (!result.ok && divergence != nullptr) {
+      *divergence = result.first_divergence;
+    }
+    return !result.ok;
+  }
+
+  size_t runs() const { return runs_; }
+  bool exhausted() const { return runs_ >= max_runs_; }
+
+ private:
+  const CheckOptions& options_;
+  size_t max_runs_;
+  size_t runs_ = 0;
+};
+
+Schedule WithoutRange(const Schedule& base, size_t begin, size_t end) {
+  Schedule out = base;
+  out.ops.erase(out.ops.begin() + begin, out.ops.begin() + end);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkSchedule(const Schedule& failing,
+                            const CheckOptions& options, size_t max_runs) {
+  Oracle oracle(options, max_runs);
+  ShrinkResult result;
+  result.schedule = failing;
+
+  // Phase 1: ddmin op removal. Try dropping chunks of halving size; on any
+  // success restart at the same granularity (earlier removals can enable
+  // later ones).
+  size_t chunk = result.schedule.ops.size();
+  while (chunk >= 1 && !oracle.exhausted()) {
+    bool removed_any = false;
+    size_t i = 0;
+    while (i < result.schedule.ops.size()) {
+      size_t end = std::min(i + chunk, result.schedule.ops.size());
+      std::string divergence;
+      Schedule candidate = WithoutRange(result.schedule, i, end);
+      if (!candidate.ops.empty() && oracle.Fails(candidate, &divergence)) {
+        result.schedule = std::move(candidate);
+        result.divergence = divergence;
+        removed_any = true;
+        // Same index now names the next chunk; do not advance.
+      } else {
+        i = end;
+      }
+      if (oracle.exhausted()) break;
+    }
+    if (!removed_any) chunk /= 2;
+  }
+
+  // Phase 2: topology shrinking — a standalone counterexample is easier to
+  // read than a replicated one.
+  while (result.schedule.secondaries > 0 && !oracle.exhausted()) {
+    Schedule candidate = result.schedule;
+    --candidate.secondaries;
+    std::string divergence;
+    if (!oracle.Fails(candidate, &divergence)) break;
+    result.schedule = std::move(candidate);
+    result.divergence = divergence;
+  }
+
+  // Phase 3: parameter shrinking. Halve append/read lengths toward 1 and
+  // drop crash trigger counts toward 1 while the failure persists.
+  bool shrunk = true;
+  while (shrunk && !oracle.exhausted()) {
+    shrunk = false;
+    for (size_t i = 0; i < result.schedule.ops.size(); ++i) {
+      Op& op = result.schedule.ops[i];
+      if ((op.kind == Op::Kind::kAppend || op.kind == Op::Kind::kRead) &&
+          op.len > 1) {
+        Schedule candidate = result.schedule;
+        candidate.ops[i].len = op.len / 2;
+        std::string divergence;
+        if (oracle.Fails(candidate, &divergence)) {
+          result.schedule = std::move(candidate);
+          result.divergence = divergence;
+          shrunk = true;
+        }
+      } else if (op.kind == Op::Kind::kCrash && op.after_hits > 1) {
+        Schedule candidate = result.schedule;
+        candidate.ops[i].after_hits = 1;
+        std::string divergence;
+        if (oracle.Fails(candidate, &divergence)) {
+          result.schedule = std::move(candidate);
+          result.divergence = divergence;
+          shrunk = true;
+        }
+      }
+      if (oracle.exhausted()) break;
+    }
+  }
+
+  // Final confirmation run so callers can trust the reported divergence
+  // even when every shrink attempt failed (divergence still empty).
+  std::string divergence;
+  result.still_failing = oracle.Fails(result.schedule, &divergence) ||
+                         !result.divergence.empty();
+  if (!divergence.empty()) result.divergence = divergence;
+  result.runs = oracle.runs();
+  return result;
+}
+
+}  // namespace xssd::check

@@ -1,0 +1,36 @@
+#ifndef XSSD_CHECK_SHRINK_H_
+#define XSSD_CHECK_SHRINK_H_
+
+#include <cstddef>
+
+#include "check/conformance.h"
+#include "check/schedule.h"
+
+namespace xssd::check {
+
+/// Outcome of minimizing a failing schedule.
+struct ShrinkResult {
+  Schedule schedule;        ///< smallest still-failing schedule found
+  std::string divergence;   ///< its first divergence
+  size_t runs = 0;          ///< RunSchedule invocations spent
+  bool still_failing = false;  ///< sanity: the result reproduces a failure
+};
+
+/// \brief ddmin-style minimizer for failing conformance schedules.
+///
+/// Repeatedly re-runs candidate schedules with ops removed — chunks of
+/// halving size down to single ops — keeping any candidate that still
+/// diverges (any rule counts: a shrink that shifts the failure from
+/// `recovery.bytes` to `read.bytes` is still the same counterexample,
+/// smaller). After op removal converges it shrinks parameters: append and
+/// read lengths are halved toward 1 while the failure persists, crash
+/// clauses drop to after_hits=1, and the topology collapses toward
+/// standalone. Every candidate run is a full deterministic RunSchedule, so
+/// shrinking is reproducible. `max_runs` bounds the total work.
+ShrinkResult ShrinkSchedule(const Schedule& failing,
+                            const CheckOptions& options,
+                            size_t max_runs = 300);
+
+}  // namespace xssd::check
+
+#endif  // XSSD_CHECK_SHRINK_H_

@@ -63,6 +63,7 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
     if (m_overwrite_violations_) m_overwrite_violations_->Add();
   }
 
+  if (arrival_observer_) arrival_observer_(stream_offset, data, len);
   if (arrival_hook_) arrival_hook_(stream_offset, data, len);
 
   if (m_append_bytes_) {
@@ -77,6 +78,14 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
   if (m_staging_occupancy_) {
     m_staging_occupancy_->Set(static_cast<double>(staging_bytes_));
   }
+  if (test_only_early_credit_) {
+    // Planted Figure 5 ordering bug: acknowledge on arrival, before the
+    // chunk is persistent. See set_test_only_early_credit().
+    received_.Insert(stream_offset, stream_offset + len);
+    highest_received_ = std::max(highest_received_, stream_offset + len);
+    AdvanceCredit();
+  }
+
   backing_.Acquire(len, [this, epoch = drain_epoch_]() {
     // Stale events from before a power-loss drain or reboot are ignored.
     if (epoch != drain_epoch_ || staging_.empty()) return;
@@ -125,6 +134,7 @@ void CmbModule::AdvanceCredit() {
     credit_ = new_credit;
     received_.TrimBelow(destaged_floor_);  // bounded metadata
     if (m_credit_) m_credit_->Set(static_cast<double>(credit_));
+    if (credit_observer_) credit_observer_(credit_);
     if (credit_hook_) credit_hook_(credit_);
   }
 }

@@ -81,6 +81,27 @@ class CmbModule {
   void SetCreditHook(CreditHook hook) { credit_hook_ = std::move(hook); }
   void SetArrivalHook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
 
+  /// Observation taps for the conformance checker (src/check): called in
+  /// addition to — and before — the wired hooks, so a cross-checking model
+  /// sees each protocol step before downstream modules react to it. Unlike
+  /// the hooks these carry no device behaviour; detach with nullptr.
+  void SetCreditObserver(CreditHook observer) {
+    credit_observer_ = std::move(observer);
+  }
+  void SetArrivalObserver(ArrivalHook observer) {
+    arrival_observer_ = std::move(observer);
+  }
+
+  /// TEST-ONLY planted ordering bug (conformance-fuzzer gate): advance the
+  /// credit counter at *arrival* time, before the chunk reaches backing
+  /// memory — the exact Figure 5 ordering violation the persistence
+  /// contract exists to prevent. A crash that loses staged or in-flight
+  /// chunks then leaves acknowledged bytes unrecoverable. Never set outside
+  /// the checker's planted-bug mode.
+  void set_test_only_early_credit(bool enabled) {
+    test_only_early_credit_ = enabled;
+  }
+
   /// Crash protocol step 1: on power failure the staging queue is drained
   /// into the PM ring using residual energy (functional, instantaneous in
   /// virtual time — the caps hold the device up). Credit advances as usual,
@@ -150,6 +171,9 @@ class CmbModule {
 
   CreditHook credit_hook_;
   ArrivalHook arrival_hook_;
+  CreditHook credit_observer_;
+  ArrivalHook arrival_observer_;
+  bool test_only_early_credit_ = false;
   fault::FaultInjector* injector_ = nullptr;
   std::string site_prefix_;
 

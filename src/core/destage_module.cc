@@ -103,6 +103,12 @@ void DestageModule::EmitPage(uint32_t len) {
   header.data_len = len;
   header.epoch = epoch_;
 
+  if (emit_observer_) {
+    emit_observer_(header,
+                   config_.ring_start_lba +
+                       (next_sequence_ % config_.ring_lba_count));
+  }
+
   std::vector<uint8_t> data(len);
   cmb_->CopyOut(destage_cursor_, data.data(), len);
   // Reading the ring consumes backing-memory bandwidth too — the shared-
@@ -199,12 +205,14 @@ void DestageModule::IssuePage(uint64_t lba, std::vector<uint8_t> page,
             m_filler_bytes_->Add(Capacity() - len);
           }
         }
+        if (durable_observer_) durable_observer_(begin, end);
         completed_.Insert(begin, end);
         uint64_t new_destaged = completed_.ContiguousEnd(destaged_);
         if (new_destaged != destaged_) {
           destaged_ = new_destaged;
           completed_.TrimBelow(destaged_);
           cmb_->set_destaged_floor(destaged_);
+          if (destaged_observer_) destaged_observer_(destaged_);
         }
         Pump();
       });

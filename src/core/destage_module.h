@@ -88,6 +88,32 @@ class DestageModule {
   void SetFaultInjector(fault::FaultInjector* injector,
                         std::string site_prefix);
 
+  // -- Conformance observation taps (src/check) -----------------------------
+  // Pure observers, called in addition to the normal control flow; the
+  // checker's reference model cross-checks each step. Detach with nullptr.
+  // Note a Reboot() recreates this module, so a checker must re-attach.
+
+  /// A page was built and issued (fires strictly in stream order, before
+  /// the flash write; retried pages do not re-fire).
+  using EmitObserver =
+      std::function<void(const DestagePageHeader& header, uint64_t lba)>;
+  void SetEmitObserver(EmitObserver observer) {
+    emit_observer_ = std::move(observer);
+  }
+
+  /// A page's completion was accounted — the extent [begin, end) is durable
+  /// in flash (fires in completion order, which may reorder across dies).
+  using DurableObserver = std::function<void(uint64_t begin, uint64_t end)>;
+  void SetDurableObserver(DurableObserver observer) {
+    durable_observer_ = std::move(observer);
+  }
+
+  /// The in-order destaged counter advanced.
+  using DestagedObserver = std::function<void(uint64_t destaged)>;
+  void SetDestagedObserver(DestagedObserver observer) {
+    destaged_observer_ = std::move(observer);
+  }
+
  private:
   /// Payload capacity of one destage page.
   uint32_t Capacity() const {
@@ -129,6 +155,9 @@ class DestageModule {
   sim::SimTime oldest_pending_since_ = 0;
   fault::FaultInjector* injector_ = nullptr;
   std::string site_prefix_;
+  EmitObserver emit_observer_;
+  DurableObserver durable_observer_;
+  DestagedObserver destaged_observer_;
 
   // Completion reordering: pages finish out of order across dies; destaged_
   // advances over the contiguous prefix of completed stream extents.

@@ -142,4 +142,38 @@ Result<FaultPlan> LoadFaultPlan(const std::string& path) {
   return plan;
 }
 
+FaultPlanBuilder::FaultPlanBuilder(std::string name) {
+  plan_.name = std::move(name);
+}
+
+FaultPlanBuilder& FaultPlanBuilder::Window(FaultKind kind, sim::SimTime at,
+                                           sim::SimTime duration,
+                                           double probability,
+                                           sim::SimTime delay) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.at = at;
+  spec.duration = duration;
+  spec.probability = probability;
+  spec.delay = delay;
+  plan_.faults.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlanBuilder& FaultPlanBuilder::Crash(std::string site,
+                                          uint32_t after_hits, bool graceful) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.site = std::move(site);
+  spec.after_hits = after_hits;
+  spec.graceful = graceful;
+  plan_.faults.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlanBuilder& FaultPlanBuilder::Add(const FaultSpec& spec) {
+  plan_.faults.push_back(spec);
+  return *this;
+}
+
 }  // namespace xssd::fault

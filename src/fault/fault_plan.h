@@ -77,6 +77,40 @@ struct FaultPlan {
 Result<FaultPlan> ParseFaultPlan(std::string_view json);
 Result<FaultPlan> LoadFaultPlan(const std::string& path);
 
+/// \brief Programmatic plan construction — the JSON-free path.
+///
+/// The conformance fuzzer (src/check) composes plans clause by clause from
+/// a seeded schedule, and tests read better without inline documents:
+///
+///   FaultPlan plan = FaultPlanBuilder("flaky-link")
+///                        .Window(FaultKind::kNtbLinkDown, sim::Us(100),
+///                                sim::Us(400))
+///                        .Crash("pri/destage.emit_page", /*after_hits=*/3,
+///                               /*graceful=*/false)
+///                        .Build();
+class FaultPlanBuilder {
+ public:
+  explicit FaultPlanBuilder(std::string name);
+
+  /// Add a windowed fault clause of `kind` active in [at, at + duration).
+  /// `delay` is the stall/timeout magnitude for the kinds that take one.
+  FaultPlanBuilder& Window(FaultKind kind, sim::SimTime at,
+                           sim::SimTime duration, double probability = 1.0,
+                           sim::SimTime delay = 0);
+
+  /// Add a crash clause firing on the `after_hits`-th visit of `site`.
+  FaultPlanBuilder& Crash(std::string site, uint32_t after_hits,
+                          bool graceful);
+
+  /// Append an already-formed clause verbatim.
+  FaultPlanBuilder& Add(const FaultSpec& spec);
+
+  FaultPlan Build() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
 }  // namespace xssd::fault
 
 #endif  // XSSD_FAULT_FAULT_PLAN_H_

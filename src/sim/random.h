@@ -9,8 +9,20 @@ namespace xssd::sim {
 /// \brief Deterministic 64-bit PRNG (xoshiro256**), seeded explicitly.
 ///
 /// All stochastic behaviour in the simulator (workload mixes, bit-error
-/// injection, crash points) draws from an Rng so experiments are exactly
-/// reproducible from a seed.
+/// injection, crash points, fuzzer schedules) draws from an Rng so
+/// experiments are exactly reproducible from a seed.
+///
+/// The engine is PINNED: xoshiro256** with SplitMix64 seed expansion,
+/// implemented here over plain uint64_t arithmetic. It deliberately uses
+/// no <random> engines or distributions — the standard leaves those
+/// implementation-defined, so std::mt19937 + std::uniform_int_distribution
+/// yields different streams on libstdc++ vs libc++ vs MSVC. Every recorded
+/// seed (fault campaigns, conformance traces, CI counterexamples) assumes
+/// the exact streams this file produces; any change to the algorithm,
+/// the seeding, or the derived helpers (Uniform's modulo, NextDouble's
+/// 53-bit scaling) is a silent break of all of them. The golden-values
+/// test (tests/sim/random_golden_test.cc) exists to make that break loud;
+/// do not "fix" the constants there to match a modified engine.
 class Rng {
  public:
   explicit Rng(uint64_t seed) {

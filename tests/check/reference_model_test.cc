@@ -1,0 +1,286 @@
+// Unit tests for the conformance reference model: each protocol rule is
+// exercised with a minimal conforming sequence and a minimal violation,
+// so a regression in the oracle itself (accepting bad behaviour or
+// rejecting good behaviour) is caught without running the simulator.
+
+#include "check/reference_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace xssd::check {
+namespace {
+
+constexpr uint64_t kRingStart = 100;
+constexpr uint64_t kRingCount = 8;
+
+std::vector<uint8_t> Bytes(size_t n, uint8_t first = 0) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint8_t>(first + i);
+  return v;
+}
+
+core::DestagePageHeader Page(uint64_t sequence, uint64_t stream_offset,
+                             uint32_t data_len, uint32_t epoch = 0) {
+  core::DestagePageHeader header;
+  header.sequence = sequence;
+  header.stream_offset = stream_offset;
+  header.data_len = data_len;
+  header.epoch = epoch;
+  return header;
+}
+
+TEST(ReferenceModel, CleanAppendToDestageFlow) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(64);
+  model.OnEmit(Page(0, 0, 64), kRingStart);
+  model.OnPageDurable(0, 64);
+  model.OnDestaged(64);
+  model.OnSyncComplete(/*written=*/64, /*credit_observed=*/64, /*ok=*/true,
+                       /*halted=*/false);
+  model.OnTailRead(data);
+  EXPECT_TRUE(model.ok()) << model.Describe();
+  EXPECT_EQ(model.credit(), 64u);
+  EXPECT_EQ(model.destaged(), 64u);
+}
+
+TEST(ReferenceModel, OutOfOrderArrivalsCreditWaitsForGap) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(32);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(16, data.data() + 16, 16);  // second half first
+  model.OnArrival(0, data.data(), 16);
+  model.OnCredit(32);  // both halves arrived: full credit is legal
+  EXPECT_TRUE(model.ok()) << model.Describe();
+}
+
+TEST(ReferenceModel, CreditBeforePersistIsOrderingViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(32);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), 16);
+  model.OnCredit(32);  // acknowledges 16 un-arrived bytes
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "credit.persist_order");
+}
+
+TEST(ReferenceModel, CreditRegressionIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(32);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(32);
+  model.OnCredit(16);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "credit.monotonic");
+}
+
+TEST(ReferenceModel, ArrivalByteCorruptionIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(16);
+  model.OnAppend(data.data(), data.size());
+  auto corrupt = data;
+  corrupt[7] ^= 0xFF;
+  model.OnArrival(0, corrupt.data(), corrupt.size());
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "arrival.bytes");
+}
+
+TEST(ReferenceModel, RingPositionLawEnforced) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(16);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(16);
+  // Sequence 0 must land at kRingStart + 0, not + 1.
+  model.OnEmit(Page(0, 0, 16), kRingStart + 1);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "destage.ring_position");
+}
+
+TEST(ReferenceModel, RingPositionWrapsModuloCount) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(16);
+  for (uint64_t seq = 0; seq < kRingCount + 2; ++seq) {
+    model.OnAppend(data.data(), data.size());
+    model.OnArrival(seq * 16, data.data(), data.size());
+    model.OnCredit((seq + 1) * 16);
+    model.OnEmit(Page(seq, seq * 16, 16),
+                 kRingStart + (seq % kRingCount));
+  }
+  EXPECT_TRUE(model.ok()) << model.Describe();
+}
+
+TEST(ReferenceModel, DestageBeyondCreditIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(32);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), 16);
+  model.OnCredit(16);
+  model.OnEmit(Page(0, 0, 32), kRingStart);  // 16 bytes past the credit
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "destage.credit_fence");
+}
+
+TEST(ReferenceModel, NonChainingPageIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(64);
+  model.OnEmit(Page(0, 0, 16), kRingStart);
+  model.OnEmit(Page(1, 32, 16), kRingStart + 1);  // skips [16, 32)
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "destage.chain");
+}
+
+TEST(ReferenceModel, DestagedCounterMustTrackDurablePrefix) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(64);
+  model.OnEmit(Page(0, 0, 32), kRingStart);
+  model.OnEmit(Page(1, 32, 32), kRingStart + 1);
+  model.OnPageDurable(32, 64);  // second page durable first
+  model.OnDestaged(64);         // claims the gap [0, 32) settled
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "destaged.prefix");
+}
+
+TEST(ReferenceModel, ShadowCountersPerPeerMonotonic) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnShadow(0, 32);
+  model.OnShadow(1, 16);  // independent peer, lower value is fine
+  model.OnShadow(0, 64);
+  EXPECT_TRUE(model.ok()) << model.Describe();
+  model.OnShadow(0, 48);  // regression on peer 0
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "shadow.monotonic");
+}
+
+TEST(ReferenceModel, FsyncAcknowledgingUndurableBytesIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  model.OnSyncComplete(/*written=*/100, /*credit_observed=*/50, /*ok=*/true,
+                       /*halted=*/false);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "fsync.durability");
+}
+
+TEST(ReferenceModel, FsyncFailureAgainstLiveDeviceIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  model.OnSyncComplete(/*written=*/0, /*credit_observed=*/0, /*ok=*/false,
+                       /*halted=*/false);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "fsync.spurious_failure");
+  // Against a halted device the same failure is the contract working.
+  ReferenceModel halted(kRingStart, kRingCount);
+  halted.OnSyncComplete(0, 0, /*ok=*/false, /*halted=*/true);
+  EXPECT_TRUE(halted.ok());
+}
+
+TEST(ReferenceModel, TailReadsAreSequentialAndByteExact) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(32);
+  model.OnAppend(data.data(), data.size());
+  model.OnTailRead(std::vector<uint8_t>(data.begin(), data.begin() + 16));
+  auto second = std::vector<uint8_t>(data.begin() + 16, data.end());
+  second[0] ^= 0xFF;
+  model.OnTailRead(second);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "read.bytes");
+}
+
+TEST(ReferenceModel, GracefulCrashPromisesFullCredit) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(64);
+  model.OnCrash(/*graceful=*/true, /*credit_at_halt=*/64,
+                /*destaged_settled=*/0);
+  EXPECT_EQ(model.durable_lower_bound(), 64u);
+  // Recovery returning only half the credit breaks the supercap promise.
+  model.OnRecovery(0, std::vector<uint8_t>(data.begin(), data.begin() + 32),
+                   /*epoch=*/0);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "recovery.durable_prefix");
+}
+
+TEST(ReferenceModel, HardCrashOnlyPromisesSettledProgress) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(64);
+  model.OnEmit(Page(0, 0, 32), kRingStart);
+  model.OnPageDurable(0, 32);
+  model.OnDestaged(32);
+  model.OnCrash(/*graceful=*/false, /*credit_at_halt=*/64,
+                /*destaged_settled=*/32);
+  EXPECT_EQ(model.durable_lower_bound(), 32u);
+  // Returning exactly the settled prefix conforms.
+  model.OnRecovery(0, std::vector<uint8_t>(data.begin(), data.begin() + 32),
+                   /*epoch=*/0);
+  EXPECT_TRUE(model.ok()) << model.Describe();
+}
+
+TEST(ReferenceModel, RecoveryFabricatingBytesIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(16);
+  model.OnAppend(data.data(), data.size());
+  model.OnCrash(/*graceful=*/true, /*credit_at_halt=*/16,
+                /*destaged_settled=*/16);
+  model.OnRecovery(0, Bytes(32), /*epoch=*/0);  // 16 bytes never appended
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "recovery.bounds");
+}
+
+TEST(ReferenceModel, RecoveryFromWrongEpochIsViolation) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(16);
+  model.OnAppend(data.data(), data.size());
+  model.OnCrash(/*graceful=*/true, /*credit_at_halt=*/16,
+                /*destaged_settled=*/16);
+  model.OnRecovery(0, data, /*epoch=*/3);  // crash happened in epoch 0
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.divergences().front().rule, "recovery.epoch");
+}
+
+TEST(ReferenceModel, RebootStartsFreshEpoch) {
+  ReferenceModel model(kRingStart, kRingCount);
+  auto data = Bytes(64);
+  model.OnAppend(data.data(), data.size());
+  model.OnArrival(0, data.data(), data.size());
+  model.OnCredit(64);
+  model.OnCrash(/*graceful=*/true, 64, 64);
+  model.OnRecovery(0, data, /*epoch=*/0);
+  model.OnReboot();
+  EXPECT_EQ(model.epoch(), 1u);
+  EXPECT_EQ(model.credit(), 0u);
+  EXPECT_FALSE(model.crashed());
+  // The new epoch accepts a fresh stream from offset 0, pages stamped 1.
+  auto fresh = Bytes(16, /*first=*/0x80);
+  model.OnAppend(fresh.data(), fresh.size());
+  model.OnArrival(0, fresh.data(), fresh.size());
+  model.OnCredit(16);
+  model.OnEmit(Page(0, 0, 16, /*epoch=*/1), kRingStart);
+  EXPECT_TRUE(model.ok()) << model.Describe();
+}
+
+TEST(ReferenceModel, HarnessFailuresAreRecorded) {
+  ReferenceModel model(kRingStart, kRingCount);
+  model.ReportFailure("harness.timeout", "op never completed");
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.Describe(), "harness.timeout: op never completed");
+}
+
+}  // namespace
+}  // namespace xssd::check
