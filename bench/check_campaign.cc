@@ -127,6 +127,7 @@ int Main(int argc, char** argv) {
                          : "conformance campaign");
   size_t conforming = 0;
   size_t crashes = 0;
+  size_t failovers = 0;
   size_t divergences = 0;
   int exit_code = 0;
 
@@ -135,6 +136,7 @@ int Main(int argc, char** argv) {
     check::Schedule schedule = check::GenerateSchedule(seed, ops);
     check::CheckResult result = check::RunSchedule(schedule, options);
     if (result.crashed) ++crashes;
+    if (result.failed_over) ++failovers;
     if (result.ok) {
       ++conforming;
       continue;
@@ -199,12 +201,14 @@ int Main(int argc, char** argv) {
   }
 
   std::printf("\n%zu/%zu schedules conform (%zu crash/recovery runs, "
-              "%zu divergences)\n",
-              conforming, runs, crashes, divergences);
+              "%zu failover runs, %zu divergences)\n",
+              conforming, runs, crashes, failovers, divergences);
   reporter.SetResult("campaign", "runs", static_cast<double>(runs));
   reporter.SetResult("campaign", "conforming",
                      static_cast<double>(conforming));
   reporter.SetResult("campaign", "crash_runs", static_cast<double>(crashes));
+  reporter.SetResult("campaign", "failover_runs",
+                     static_cast<double>(failovers));
   reporter.SetResult("campaign", "divergences",
                      static_cast<double>(divergences));
   int finish = reporter.Finish();

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "ha/supervisor.h"
 #include "host/node.h"
 #include "host/recovery.h"
 #include "sim/simulator.h"
@@ -53,16 +54,20 @@ class Harness {
   CheckResult Run();
 
  private:
-  host::StorageNode& primary() { return *nodes_.front(); }
+  /// The node currently serving as primary — nodes_[0] until a kFailover
+  /// op re-homes the harness onto the promoted member.
+  host::StorageNode& primary() { return *nodes_[active_]; }
 
   bool BuildCluster();
   void AttachObservers();
+  void DetachObservers(host::StorageNode& node);
   void AttachDestageObservers();  ///< re-run after every Reboot()
   void ArmFaults();
 
   void ExecAppend(const Op& op);
   bool ExecFsync();  ///< true when the sync completed with OK
   void ExecRead(const Op& op);
+  void ExecFailover();
 
   void CrashEpilogue();
   void QuiescenceEpilogue();
@@ -78,6 +83,8 @@ class Harness {
   std::vector<std::unique_ptr<host::StorageNode>> nodes_;
   std::unique_ptr<ReferenceModel> model_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<ha::ReplicaSupervisor> supervisor_;  ///< failover mode
+  size_t active_ = 0;  ///< index of the current primary
 
   uint64_t appended_ = 0;       ///< bytes submitted through Append
   uint64_t tail_returned_ = 0;  ///< bytes handed back by tail reads
@@ -93,17 +100,40 @@ bool Harness::BuildCluster() {
   host::XLogClientOptions client_options;
   client_options.sync_stall_timeout = sim::Ms(2);
 
+  bool supervised = schedule_.HasFailover() && schedule_.secondaries > 0;
   core::VillarsConfig config = HarnessConfig();
+  if (supervised) {
+    ha::ReplicaSupervisor::ConfigureDevice(&config,
+                                           1 + schedule_.secondaries);
+  }
   nodes_.push_back(std::make_unique<host::StorageNode>(
       &sim_, config, pcie::FabricConfig{}, "pri", client_options));
   for (uint32_t i = 0; i < schedule_.secondaries; ++i) {
+    // In supervised mode every member carries client options: any of them
+    // can be promoted and must then serve the workload.
     nodes_.push_back(std::make_unique<host::StorageNode>(
-        &sim_, config, pcie::FabricConfig{}, "sec" + std::to_string(i)));
+        &sim_, config, pcie::FabricConfig{}, "sec" + std::to_string(i),
+        supervised ? client_options : host::XLogClientOptions{}));
   }
   for (auto& node : nodes_) {
     if (!node->Init().ok()) return false;
   }
-  if (schedule_.secondaries > 0) {
+  if (supervised) {
+    ha::HaConfig ha_config;
+    ha_config.protocol = schedule_.protocol;
+    ha_config.update_period = sim::UsF(0.8);
+    // Failure detection window 100us x 25 = 2.5ms: far beyond any fault
+    // window the generator emits (<= 600us), so injected link flaps never
+    // cause a spurious election — only the kFailover kill does.
+    ha_config.heartbeat_period = sim::Us(100);
+    ha_config.suspicion_threshold = 25;
+    std::vector<host::StorageNode*> raw;
+    for (auto& node : nodes_) raw.push_back(node.get());
+    supervisor_ =
+        std::make_unique<ha::ReplicaSupervisor>(&sim_, raw, ha_config);
+    if (!supervisor_->Setup().ok()) return false;
+    supervisor_->Start();
+  } else if (schedule_.secondaries > 0) {
     std::vector<host::StorageNode*> raw;
     for (auto& node : nodes_) raw.push_back(node.get());
     host::ReplicationGroup group(raw);
@@ -124,6 +154,15 @@ void Harness::AttachObservers() {
     model_->OnShadow(index, value);
   });
   AttachDestageObservers();
+}
+
+void Harness::DetachObservers(host::StorageNode& node) {
+  node.device().cmb().SetArrivalObserver({});
+  node.device().cmb().SetCreditObserver({});
+  node.device().transport().SetShadowHook({});
+  node.device().destage().SetEmitObserver({});
+  node.device().destage().SetDurableObserver({});
+  node.device().destage().SetDestagedObserver({});
 }
 
 void Harness::AttachDestageObservers() {
@@ -255,6 +294,59 @@ void Harness::ExecRead(const Op& op) {
   tail_returned_ += bytes->size();
 }
 
+void Harness::ExecFailover() {
+  if (supervisor_ == nullptr) return;  // standalone schedule: nothing to do
+  uint64_t before = supervisor_->promotions();
+  primary().device().CrashHard();
+
+  // Detection (2.5ms) + election + admin chains + client reconnect all fit
+  // comfortably inside 20ms of virtual time.
+  auto deadline = std::make_shared<bool>(false);
+  sim_.Schedule(sim::Ms(20), [deadline]() { *deadline = true; });
+  sim_.RunWhile(
+      [&]() { return supervisor_->promotions() > before || *deadline; });
+
+  if (supervisor_->promotions() == before) {
+    model_->ReportFailure("failover.no_promotion",
+                          "no member was promoted within 20ms of the "
+                          "primary's death");
+    return;
+  }
+  size_t leader = supervisor_->leader_index();
+  if (supervisor_->promotions() != before + 1 || leader == active_ ||
+      nodes_[leader]->device().halted()) {
+    model_->ReportFailure(
+        "failover.exactly_once",
+        "expected exactly one promotion to a live member, saw " +
+            std::to_string(supervisor_->promotions() - before) +
+            " (leader index " + std::to_string(leader) + ")");
+    return;
+  }
+
+  // Re-home the harness and the model onto the promoted device. State is
+  // read synchronously at the promotion event, before any further sim
+  // progress, so the adopted destage position cannot race new activity.
+  DetachObservers(primary());
+  active_ = leader;
+  core::VillarsDevice& device = primary().device();
+  bool acked_must_survive =
+      schedule_.protocol != core::ReplicationProtocol::kLazy;
+  model_->OnFailover(acked_must_survive, device.cmb().local_credit(),
+                     device.destage().next_sequence(),
+                     device.destage().destage_cursor(),
+                     device.destage().destaged());
+  AttachObservers();
+
+  // The promoted client resumed at the device tail; appends continue from
+  // there (PayloadByte is keyed on absolute offsets, so the re-appended
+  // suffix reproduces the discarded bytes exactly). The old read cursor
+  // belongs to the dead client.
+  appended_ = device.cmb().local_credit();
+  tail_returned_ = std::min(tail_returned_, appended_);
+  reads_poisoned_ = true;
+  result_.failed_over = true;
+}
+
 void Harness::SettlePastFaultWindows() {
   // Recovery and the quiescence checks must not race still-open fault
   // windows (an nvme timeout window would fail recovery's ring reads for
@@ -321,8 +413,10 @@ void Harness::CrashEpilogue() {
   AttachDestageObservers();
 
   if (schedule_.secondaries > 0) {
-    // Replicated schedules end at recovery validation: failover is the
-    // failover tests' subject, not this oracle's.
+    // Replicated crash schedules end at recovery validation: the
+    // promote-and-continue path is exercised by kFailover schedules, which
+    // run under the HA supervisor and check the fencing rule end to end
+    // (ExecFailover / ReferenceModel::OnFailover).
     return;
   }
 
@@ -387,20 +481,26 @@ void Harness::QuiescenceEpilogue() {
 
   // Replication postconditions: after a clean final fsync the protocol's
   // durability set must hold the full stream, byte-exact (paper §4.2).
+  // After a failover the group is the promoted primary plus the surviving
+  // live members — the dead ex-primary is exempt.
   if (schedule_.secondaries > 0 && synced_ok) {
     bool check_all =
         schedule_.protocol == core::ReplicationProtocol::kEager;
     bool check_last =
         schedule_.protocol == core::ReplicationProtocol::kChain;
-    for (uint32_t i = 0; i < schedule_.secondaries; ++i) {
-      bool must_hold =
-          check_all || (check_last && i == schedule_.secondaries - 1);
+    std::vector<size_t> members;  // current secondaries, chain order
+    for (size_t j = 0; j < nodes_.size(); ++j) {
+      if (j == active_ || nodes_[j]->device().halted()) continue;
+      members.push_back(j);
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      bool must_hold = check_all || (check_last && i == members.size() - 1);
       if (!must_hold) continue;
-      core::CmbModule& cmb = nodes_[i + 1]->device().cmb();
+      core::CmbModule& cmb = nodes_[members[i]]->device().cmb();
       if (cmb.local_credit() < synced) {
         model_->ReportFailure(
             "replication.lag",
-            "secondary " + std::to_string(i) + " credit " +
+            "secondary " + std::to_string(members[i]) + " credit " +
                 std::to_string(cmb.local_credit()) +
                 " below fsynced position " + std::to_string(synced) +
                 " under " +
@@ -409,12 +509,13 @@ void Harness::QuiescenceEpilogue() {
         continue;
       }
       uint64_t n = std::min<uint64_t>(cmb.local_credit(), appended_);
+      n = std::min<uint64_t>(n, model_->stream().size());
       if (n == 0) continue;
       std::vector<uint8_t> replica(n);
       cmb.CopyOut(0, replica.data(), n);
       if (std::memcmp(replica.data(), model_->stream().data(), n) != 0) {
         model_->ReportFailure("replication.bytes",
-                              "secondary " + std::to_string(i) +
+                              "secondary " + std::to_string(members[i]) +
                                   " replica differs from the appended "
                                   "stream in the first " +
                                   std::to_string(n) + " bytes");
@@ -458,6 +559,9 @@ CheckResult Harness::Run() {
       case Op::Kind::kRead:
         ExecRead(op);
         break;
+      case Op::Kind::kFailover:
+        ExecFailover();
+        break;
       case Op::Kind::kFault:
       case Op::Kind::kCrash:
         break;  // compiled into the fault plan before the run
@@ -474,6 +578,10 @@ CheckResult Harness::Run() {
     }
   }
 
+  if (supervisor_ != nullptr) {
+    supervisor_->Stop();
+    result_.promotions = supervisor_->promotions();
+  }
   result_.fault_totals = injector_->totals();
   result_.divergences = model_->divergences();
   result_.ok = model_->ok();

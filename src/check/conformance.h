@@ -38,6 +38,8 @@ struct CheckResult {
   bool crashed = false;
   bool graceful_crash = false;
   bool recovered = false;
+  bool failed_over = false;  ///< a kFailover op promoted a new primary
+  uint64_t promotions = 0;   ///< supervisor promotions (must be <= 1)
   uint64_t appended = 0;
   uint64_t recovered_bytes = 0;
   fault::FaultInjector::Totals fault_totals;
@@ -54,6 +56,14 @@ struct CheckResult {
 /// validate the recovered prefix, and (standalone only) reconnect and
 /// re-append; otherwise run the quiescence epilogue (final fsync, destage
 /// settle, tail-read the remainder, secondary byte-exactness).
+///
+/// Schedules containing a kFailover op run the replicas under the HA
+/// supervisor (src/ha) instead of a static ReplicationGroup: the op kills
+/// the primary, awaits exactly-once promotion, re-homes the model's
+/// observation taps onto the promoted device (ReferenceModel::OnFailover
+/// enforces the fencing rule: acknowledged bytes survive promotion under
+/// eager/chain), and the remaining host ops continue against the new
+/// primary.
 CheckResult RunSchedule(const Schedule& schedule,
                         const CheckOptions& options = {});
 

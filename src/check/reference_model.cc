@@ -183,6 +183,7 @@ void ReferenceModel::OnSyncComplete(uint64_t written, uint64_t credit_observed,
              std::to_string(credit_observed) + ", written " +
              std::to_string(written) + ")");
   }
+  if (ok) acked_ = std::max(acked_, written);
 }
 
 void ReferenceModel::OnTailRead(const std::vector<uint8_t>& data) {
@@ -258,6 +259,37 @@ void ReferenceModel::OnRecovery(uint64_t start_offset,
   }
 }
 
+void ReferenceModel::OnFailover(bool acked_must_survive, uint64_t new_credit,
+                                uint64_t next_sequence,
+                                uint64_t destage_cursor, uint64_t destaged) {
+  if (acked_must_survive && new_credit < acked_) {
+    Fail("failover.acked_loss",
+         "promoted tail " + std::to_string(new_credit) +
+             " below the acknowledged watermark " + std::to_string(acked_) +
+             " (a successful fsync's bytes did not survive promotion)");
+  }
+  if (new_credit > stream_.size()) {
+    Fail("failover.bounds",
+         "promoted tail " + std::to_string(new_credit) +
+             " beyond appended total " + std::to_string(stream_.size()) +
+             " (fabricated bytes)");
+  }
+  // The promoted device's log is the new truth: the un-acked suffix is
+  // gone, and the destage position is whatever the secondary had reached.
+  stream_.resize(std::min<uint64_t>(new_credit, stream_.size()));
+  arrived_.Clear();
+  if (new_credit > 0) arrived_.Insert(0, new_credit);
+  credit_ = new_credit;
+  next_sequence_ = next_sequence;
+  destage_cursor_ = destage_cursor;
+  destaged_ = destaged;
+  durable_.Clear();
+  if (destaged > 0) durable_.Insert(0, destaged);
+  for (auto& s : shadows_) s = 0;
+  tail_read_ = std::min(tail_read_, new_credit);
+  acked_ = std::min(acked_, new_credit);
+}
+
 void ReferenceModel::OnReboot() {
   // A reboot starts a fresh epoch with an empty stream: the recovered log
   // is re-appended by the host through the normal path, so the model's
@@ -271,6 +303,7 @@ void ReferenceModel::OnReboot() {
   durable_.Clear();
   for (auto& s : shadows_) s = 0;
   tail_read_ = 0;
+  acked_ = 0;
   ++epoch_;
   crashed_ = false;
   crash_graceful_ = false;

@@ -107,6 +107,23 @@ class ReferenceModel {
   void OnRecovery(uint64_t start_offset, const std::vector<uint8_t>& data,
                   uint32_t epoch);
 
+  /// The primary died and the supervisor promoted a secondary whose log
+  /// tail is `new_credit`; the model's observation taps moved to the new
+  /// device, so its destage position (`next_sequence`, `destage_cursor`,
+  /// `destaged`) is adopted wholesale. Rules:
+  ///  - fencing/durability: when `acked_must_survive` (eager/chain — lazy
+  ///    promises nothing), every byte acknowledged by a successful fsync
+  ///    must be inside the promoted tail — exactly-once survival of acked
+  ///    bytes across promotion ("failover.acked_loss");
+  ///  - the promoted tail can never exceed the appended total
+  ///    ("failover.bounds").
+  /// The un-acked suffix beyond `new_credit` is legally discarded: the
+  /// reference stream truncates to the promoted tail and rebuilds through
+  /// OnAppend as the workload resumes against the new primary.
+  void OnFailover(bool acked_must_survive, uint64_t new_credit,
+                  uint64_t next_sequence, uint64_t destage_cursor,
+                  uint64_t destaged);
+
   /// The device rebooted into a fresh epoch: the stream restarts at 0.
   void OnReboot();
 
@@ -123,6 +140,9 @@ class ReferenceModel {
 
   uint64_t credit() const { return credit_; }
   uint64_t destaged() const { return destaged_; }
+  /// Highest write position covered by a successful fsync (what failover
+  /// must preserve).
+  uint64_t acked() const { return acked_; }
   uint32_t epoch() const { return epoch_; }
   bool crashed() const { return crashed_; }
   uint64_t durable_lower_bound() const { return durable_lower_bound_; }
@@ -142,6 +162,7 @@ class ReferenceModel {
   sim::IntervalSet durable_;
   uint64_t shadows_[core::kMaxPeers] = {0};
   uint64_t tail_read_ = 0;
+  uint64_t acked_ = 0;
   uint32_t epoch_ = 0;
   bool crashed_ = false;
   bool crash_graceful_ = false;

@@ -54,6 +54,13 @@ bool Schedule::HasCrash() const {
   return false;
 }
 
+bool Schedule::HasFailover() const {
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kFailover) return true;
+  }
+  return false;
+}
+
 uint64_t Schedule::TotalAppendBytes() const {
   uint64_t total = 0;
   for (const Op& op : ops) {
@@ -100,6 +107,7 @@ Schedule GenerateSchedule(uint64_t seed, size_t target_ops) {
 
   uint64_t append_budget = kMaxTotalAppend;
   bool crash_placed = false;
+  bool failover_placed = false;
 
   while (schedule.ops.size() < target_ops) {
     Op op;
@@ -121,7 +129,7 @@ Schedule GenerateSchedule(uint64_t seed, size_t target_ops) {
     } else if (roll < 82) {
       op.kind = Op::Kind::kRead;
       op.len = static_cast<uint32_t>(rng.UniformRange(1, 4096));
-    } else if (roll < 92 || crash_placed) {
+    } else if (roll < 92 || crash_placed || failover_placed) {
       op.kind = Op::Kind::kFault;
       op.at_us = rng.Uniform(3000);
       switch (rng.Uniform(5)) {
@@ -151,6 +159,13 @@ Schedule GenerateSchedule(uint64_t seed, size_t target_ops) {
           op.delay_us = rng.UniformRange(10, 100);
           break;
       }
+    } else if (schedule.secondaries == 2 && rng.Bernoulli(0.5)) {
+      // Only 3-member clusters fail over: a 2-member group has no live
+      // majority after the primary dies, so the supervisor (correctly)
+      // refuses to elect and the run would stall. Mutually exclusive with
+      // crash clauses — both kill the primary, with different epilogues.
+      op.kind = Op::Kind::kFailover;
+      failover_placed = true;
     } else {
       op.kind = Op::Kind::kCrash;
       op.site = kCrashSites[rng.Uniform(3)];
@@ -189,6 +204,9 @@ std::string ToText(const Schedule& schedule) {
       case Op::Kind::kCrash:
         out << "crash " << op.site << " after_hits " << op.after_hits
             << " graceful " << (op.graceful ? 1 : 0) << "\n";
+        break;
+      case Op::Kind::kFailover:
+        out << "failover\n";
         break;
     }
   }
@@ -232,6 +250,10 @@ Result<Schedule> ScheduleFromText(std::string_view text) {
     } else if (word == "fsync") {
       Op op;
       op.kind = Op::Kind::kFsync;
+      schedule.ops.push_back(op);
+    } else if (word == "failover") {
+      Op op;
+      op.kind = Op::Kind::kFailover;
       schedule.ops.push_back(op);
     } else if (word == "fault") {
       Op op;

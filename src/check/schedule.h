@@ -23,6 +23,7 @@ struct Op {
     kRead,    ///< tail-read up to `len` bytes (clamped to appended)
     kFault,   ///< windowed fault clause (kind/at/duration/probability/delay)
     kCrash,   ///< crash clause at a named site (site/after_hits/graceful)
+    kFailover,  ///< kill the primary, await exactly-once fenced promotion
   };
 
   Kind kind = Kind::kAppend;
@@ -53,6 +54,11 @@ struct Schedule {
   std::vector<Op> ops;
 
   bool HasCrash() const;
+  /// True when the schedule contains a kFailover op. Failover schedules run
+  /// under the HA supervisor (src/ha) and never carry crash clauses: both
+  /// kill the primary, but failover continues against the promoted member
+  /// while crash recovers the same one.
+  bool HasFailover() const;
   uint64_t TotalAppendBytes() const;
 
   /// Compile the fault/crash clauses into an injector plan.

@@ -185,6 +185,18 @@ void CmbModule::AbandonStagingForCrash() {
   if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
 }
 
+void CmbModule::TruncateTo(uint64_t offset) {
+  ++drain_epoch_;
+  staging_.clear();
+  staging_bytes_ = 0;
+  received_.TrimAbove(offset);
+  credit_ = std::min(credit_, offset);
+  highest_received_ = std::min(highest_received_, offset);
+  destaged_floor_ = std::min(destaged_floor_, offset);
+  if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
+  if (m_credit_) m_credit_->Set(static_cast<double>(credit_));
+}
+
 void CmbModule::ResetForReboot() {
   ++drain_epoch_;
   std::fill(ring_.begin(), ring_.end(), 0);

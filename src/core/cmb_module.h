@@ -124,6 +124,13 @@ class CmbModule {
   /// restarts at offset 0 in a new epoch.
   void ResetForReboot();
 
+  /// Discard stream bytes at or above `offset` (HA resync: a rejoining
+  /// secondary truncates its unreplicated suffix before adopting the new
+  /// primary's stream). Ring contents below `offset` are kept; staged and
+  /// in-flight chunks are dropped; the credit rolls back if it had passed
+  /// the cut. No credit hooks fire — the caller rewires downstream state.
+  void TruncateTo(uint64_t offset);
+
   /// Highest stream offset received (gaps may exist below it).
   uint64_t highest_received() const { return highest_received_; }
   /// True if some byte above the credit has arrived (i.e. a gap or

@@ -48,6 +48,9 @@ class DestageModule {
   /// Next destage-ring slot (sequence number; LBA = start + seq % count).
   uint64_t next_sequence() const { return next_sequence_; }
 
+  /// Stream bytes issued to flash so far (may run ahead of destaged()).
+  uint64_t destage_cursor() const { return destage_cursor_; }
+
   uint64_t ring_start_lba() const { return config_.ring_start_lba; }
   uint64_t ring_lba_count() const { return config_.ring_lba_count; }
 

@@ -36,11 +36,26 @@ inline constexpr uint64_t kRegTransportStatus = 0x38;
 inline constexpr uint64_t kRegDestageBarrier = 0x40;
 /// Device epoch: bumped on every reboot so hosts can detect restarts.
 inline constexpr uint64_t kRegEpoch = 0x48;
+/// Replication term (generation) number: bumped by the supervisor on every
+/// promotion (kXssdSetTerm). Unlike the epoch, the term survives only in
+/// the transport module — it fences *writers*, not reboots: a ring write
+/// arriving through a peer intake window whose writer term is older than
+/// the device term is dropped (split-brain fencing, see src/ha/).
+inline constexpr uint64_t kRegTerm = 0x50;
+/// Count of ring writes rejected by the term fence (read-only telemetry;
+/// the ha_campaign asserts this goes nonzero in the partition scenario).
+inline constexpr uint64_t kRegFencedWrites = 0x58;
 
 /// Shadow-counter mailboxes: secondary i writes its credit at
 /// kRegShadowBase + 8*i (via NTB).
 inline constexpr uint64_t kRegShadowBase = 0x80;
 inline constexpr uint32_t kMaxPeers = 8;
+
+/// Per-writer term registers: the last term under which member slot i was
+/// authorised to push ring bytes into this device (set locally by this
+/// node's supervisor agent via kXssdSetTerm). Placed after the shadow
+/// mailboxes — kMaxPeers 8-byte slots span [0xC0, 0x100).
+inline constexpr uint64_t kRegWriterTermBase = 0xC0;
 
 /// Transport status word bit assignments.
 struct StatusBits {

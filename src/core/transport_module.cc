@@ -31,23 +31,74 @@ void TransportModule::SetRole(Role role) {
 }
 
 Status TransportModule::AddPeer(uint64_t peer_cmb_window) {
-  if (peers_.size() >= kMaxPeers) {
-    return Status::ResourceExhausted("peer table full");
+  for (uint32_t slot = 0; slot < kMaxPeers; ++slot) {
+    if (!peer_slots_[slot].active) return AddPeerAt(slot, peer_cmb_window);
   }
-  shadows_[peers_.size()] = 0;
-  peers_.push_back(peer_cmb_window);
+  return Status::ResourceExhausted("peer table full");
+}
+
+Status TransportModule::AddPeerAt(uint32_t slot, uint64_t peer_cmb_window) {
+  if (slot >= kMaxPeers) {
+    return Status::InvalidArgument("peer slot out of range");
+  }
+  if (peer_slots_[slot].active) {
+    peer_slots_[slot].window = peer_cmb_window;
+    return Status::OK();
+  }
+  peer_slots_[slot] = PeerSlot{peer_cmb_window, true};
+  active_slots_.push_back(slot);
+  shadows_[slot] = 0;
   last_shadow_advance_ = sim_->Now();
+  UpdateLagGauge();
+  // A freshly added peer starts at shadow 0; if the local log is ahead the
+  // retransmit path must stream it to convergence even when the primary is
+  // otherwise idle (rejoin after a crash, no new writes arriving).
+  ArmRetransmitTimer();
+  return Status::OK();
+}
+
+Status TransportModule::RemovePeer(uint32_t slot) {
+  if (slot >= kMaxPeers || !peer_slots_[slot].active) {
+    return Status::NotFound("peer slot not active");
+  }
+  peer_slots_[slot] = PeerSlot{};
+  shadows_[slot] = 0;
+  active_slots_.erase(
+      std::find(active_slots_.begin(), active_slots_.end(), slot));
+  if (active_slots_.empty()) {
+    ++rt_generation_;
+    rt_armed_ = false;
+    current_rto_ = config_.retransmit_timeout;
+    degraded_ = false;
+    if (m_degraded_) m_degraded_->Set(0);
+  }
+  UpdateLagGauge();
   return Status::OK();
 }
 
 void TransportModule::ClearPeers() {
-  peers_.clear();
+  for (auto& slot : peer_slots_) slot = PeerSlot{};
+  active_slots_.clear();
   std::fill(std::begin(shadows_), std::end(shadows_), 0);
   ++rt_generation_;
   rt_armed_ = false;
   current_rto_ = config_.retransmit_timeout;
   degraded_ = false;
   if (m_degraded_) m_degraded_->Set(0);
+}
+
+void TransportModule::SetTerm(uint64_t term, uint32_t writer_slot) {
+  if (writer_slot >= kMaxPeers) return;
+  term_ = std::max(term_, term);
+  writer_terms_[writer_slot] = std::max(writer_terms_[writer_slot], term);
+  member_slot_ = writer_slot;
+}
+
+bool TransportModule::AdmitRingWrite(uint32_t slot) {
+  if (slot < kMaxPeers && writer_terms_[slot] >= term_) return true;
+  ++fenced_writes_;
+  if (m_fenced_writes_) m_fenced_writes_->Add();
+  return false;
 }
 
 void TransportModule::ConfigureSecondary(uint64_t primary_shadow_addr) {
@@ -71,35 +122,42 @@ void TransportModule::SetMetrics(obs::MetricsRegistry* registry,
       registry->GetCounter(prefix + "transport.retransmitted_bytes");
   m_degraded_entries_ =
       registry->GetCounter(prefix + "transport.degraded_entries");
+  m_fenced_writes_ = registry->GetCounter(prefix + "transport.fenced_writes");
   m_degraded_ = registry->GetGauge(prefix + "transport.degraded");
 }
 
 uint64_t TransportModule::MinShadow() const {
   uint64_t min_shadow = ~0ull;
-  for (size_t i = 0; i < peers_.size(); ++i) {
-    min_shadow = std::min(min_shadow, shadows_[i]);
+  for (uint32_t slot : active_slots_) {
+    min_shadow = std::min(min_shadow, shadows_[slot]);
   }
   return min_shadow;
 }
 
 void TransportModule::UpdateLagGauge() {
   if (!m_replication_lag_bytes_) return;
-  if (role_ != Role::kPrimary || peers_.empty()) {
+  if (role_ != Role::kPrimary || active_slots_.empty()) {
     m_replication_lag_bytes_->Set(0);
     return;
   }
   uint64_t lag = 0;
-  for (size_t i = 0; i < peers_.size(); ++i) {
-    if (local_credit_ > shadows_[i]) {
-      lag = std::max(lag, local_credit_ - shadows_[i]);
+  for (uint32_t slot : active_slots_) {
+    if (local_credit_ > shadows_[slot]) {
+      lag = std::max(lag, local_credit_ - shadows_[slot]);
     }
   }
   m_replication_lag_bytes_->Set(static_cast<double>(lag));
 }
 
+uint64_t TransportModule::PeerRingBase(uint64_t window_base) const {
+  uint64_t base = window_base + kRingWindowOffset;
+  if (config_.use_intake_aliases) base += ring_bytes_ * (1 + member_slot_);
+  return base;
+}
+
 void TransportModule::OnCmbArrival(uint64_t stream_offset,
                                    const uint8_t* data, size_t len) {
-  if (role_ != Role::kPrimary || peers_.empty()) return;
+  if (role_ != Role::kPrimary || active_slots_.empty()) return;
   XSSD_CHECK(ring_bytes_ > 0);
   // One mirror flow per secondary (no multicast — §4.2), each an
   // independent posted-write stream into the peer's ring window at the
@@ -113,22 +171,24 @@ void TransportModule::OnCmbArrival(uint64_t stream_offset,
     // One flow; the NTB adapter fans out in hardware.
     mirrored_bytes_ += len;
     if (m_mirrored_bytes_) m_mirrored_bytes_->Add(len);
-    fabric_->PeerWrite(multicast_window_ + kRingWindowOffset + ring_offset,
-                       data, first, pcie::StoreEngine::kWcLineBytes);
+    uint64_t base = PeerRingBase(multicast_window_);
+    fabric_->PeerWrite(base + ring_offset, data, first,
+                       pcie::StoreEngine::kWcLineBytes);
     if (first < len) {
-      fabric_->PeerWrite(multicast_window_ + kRingWindowOffset, data + first,
-                         len - first, pcie::StoreEngine::kWcLineBytes);
+      fabric_->PeerWrite(base, data + first, len - first,
+                         pcie::StoreEngine::kWcLineBytes);
     }
     return;
   }
-  for (uint64_t peer_base : peers_) {
+  for (uint32_t slot : active_slots_) {
     mirrored_bytes_ += len;
     if (m_mirrored_bytes_) m_mirrored_bytes_->Add(len);
-    fabric_->PeerWrite(peer_base + kRingWindowOffset + ring_offset, data,
-                       first, pcie::StoreEngine::kWcLineBytes);
+    uint64_t base = PeerRingBase(peer_slots_[slot].window);
+    fabric_->PeerWrite(base + ring_offset, data, first,
+                       pcie::StoreEngine::kWcLineBytes);
     if (first < len) {
-      fabric_->PeerWrite(peer_base + kRingWindowOffset, data + first,
-                         len - first, pcie::StoreEngine::kWcLineBytes);
+      fabric_->PeerWrite(base, data + first, len - first,
+                         pcie::StoreEngine::kWcLineBytes);
     }
   }
 }
@@ -160,6 +220,9 @@ void TransportModule::UpdateTick() {
 }
 
 void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
+  // Accepted for any in-range slot: credit math only consults active
+  // slots, and AddPeerAt re-zeroes the slot, so a removed peer's stale
+  // pushes are harmless here.
   if (index >= kMaxPeers) return;
   if (value > shadows_[index]) {
     shadows_[index] = value;
@@ -167,7 +230,7 @@ void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
     if (m_shadow_advances_) m_shadow_advances_->Add();
     // Progress resets the backoff: the next silent window starts small.
     current_rto_ = config_.retransmit_timeout;
-    if (degraded_ && role_ == Role::kPrimary && !peers_.empty() &&
+    if (degraded_ && role_ == Role::kPrimary && !active_slots_.empty() &&
         MinShadow() >= local_credit_) {
       // Every peer caught back up to the local counter: leave degraded
       // mode and resume the configured protocol.
@@ -181,7 +244,7 @@ void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
 }
 
 void TransportModule::ArmRetransmitTimer() {
-  if (rt_armed_ || role_ != Role::kPrimary || peers_.empty() ||
+  if (rt_armed_ || role_ != Role::kPrimary || active_slots_.empty() ||
       config_.retransmit_timeout == 0 || !ring_reader_) {
     return;
   }
@@ -197,7 +260,7 @@ void TransportModule::ArmRetransmitTimer() {
 }
 
 void TransportModule::OnRetransmitTimer() {
-  if (role_ != Role::kPrimary || peers_.empty()) return;
+  if (role_ != Role::kPrimary || active_slots_.empty()) return;
   if (MinShadow() >= local_credit_) {
     current_rto_ = config_.retransmit_timeout;
     return;
@@ -235,6 +298,7 @@ void TransportModule::RetransmitRange(uint64_t window_base, uint64_t from) {
       local_credit_ > ring_bytes_ ? local_credit_ - ring_bytes_ : 0;
   from = std::max(from, floor);
   std::vector<uint8_t> buf;
+  uint64_t base = PeerRingBase(window_base);
   for (uint64_t off = from; off < local_credit_;) {
     size_t n = static_cast<size_t>(std::min<uint64_t>(
         config_.retransmit_chunk, local_credit_ - off));
@@ -243,11 +307,11 @@ void TransportModule::RetransmitRange(uint64_t window_base, uint64_t from) {
     uint64_t ring_offset = off % ring_bytes_;
     size_t first = static_cast<size_t>(
         std::min<uint64_t>(n, ring_bytes_ - ring_offset));
-    fabric_->PeerWrite(window_base + kRingWindowOffset + ring_offset,
-                       buf.data(), first, pcie::StoreEngine::kWcLineBytes);
+    fabric_->PeerWrite(base + ring_offset, buf.data(), first,
+                       pcie::StoreEngine::kWcLineBytes);
     if (first < n) {
-      fabric_->PeerWrite(window_base + kRingWindowOffset, buf.data() + first,
-                         n - first, pcie::StoreEngine::kWcLineBytes);
+      fabric_->PeerWrite(base, buf.data() + first, n - first,
+                         pcie::StoreEngine::kWcLineBytes);
     }
     retransmitted_bytes_ += n;
     if (m_retransmitted_bytes_) m_retransmitted_bytes_->Add(n);
@@ -264,13 +328,15 @@ void TransportModule::RetransmitRound() {
     RetransmitRange(multicast_window_, MinShadow());
     return;
   }
-  for (size_t i = 0; i < peers_.size(); ++i) {
-    if (shadows_[i] < local_credit_) RetransmitRange(peers_[i], shadows_[i]);
+  for (uint32_t slot : active_slots_) {
+    if (shadows_[slot] < local_credit_) {
+      RetransmitRange(peer_slots_[slot].window, shadows_[slot]);
+    }
   }
 }
 
 uint64_t TransportModule::EffectiveCredit(uint64_t local_credit) const {
-  if (role_ != Role::kPrimary || peers_.empty()) return local_credit;
+  if (role_ != Role::kPrimary || active_slots_.empty()) return local_credit;
   // Degraded mode: every lagging peer has been silent past the degrade
   // timeout. The primary falls back to its local counter — logging keeps
   // its durability on this device only — until the peers catch back up.
@@ -281,14 +347,14 @@ uint64_t TransportModule::EffectiveCredit(uint64_t local_credit) const {
       return local_credit;
     case ReplicationProtocol::kChain:
       // Chain replication [72]: only the tail's counter matters.
-      return std::min(local_credit, shadows_[peers_.size() - 1]);
+      return std::min(local_credit, shadows_[active_slots_.back()]);
     case ReplicationProtocol::kEager: {
       // Eager: the counter with the most significant delay among the
       // secondaries (paper §4.2) — an entry is persisted only if it is
       // persisted everywhere.
       uint64_t credit = local_credit;
-      for (size_t i = 0; i < peers_.size(); ++i) {
-        credit = std::min(credit, shadows_[i]);
+      for (uint32_t slot : active_slots_) {
+        credit = std::min(credit, shadows_[slot]);
       }
       return credit;
     }
@@ -298,10 +364,10 @@ uint64_t TransportModule::EffectiveCredit(uint64_t local_credit) const {
 
 uint64_t TransportModule::StatusWord(uint64_t local_credit) const {
   uint64_t word = static_cast<uint64_t>(role_) & StatusBits::kRoleMask;
-  word |= (static_cast<uint64_t>(peers_.size())
+  word |= (static_cast<uint64_t>(active_slots_.size())
            << StatusBits::kPeerCountShift) &
           StatusBits::kPeerCountMask;
-  if (role_ == Role::kPrimary && !peers_.empty()) {
+  if (role_ == Role::kPrimary && !active_slots_.empty()) {
     if (degraded_) word |= StatusBits::kDegraded;
     uint64_t min_shadow = MinShadow();
     if (min_shadow < local_credit &&

@@ -56,11 +56,45 @@ class TransportModule {
 
   /// Primary: register a peer whose CMB BAR is reachable at
   /// `peer_cmb_window` on the local fabric (an NTB window address).
+  /// Occupies the lowest free member slot.
   Status AddPeer(uint64_t peer_cmb_window);
+  /// Register a peer at an explicit member slot (HA supervisor: slots are
+  /// stable member ids, so a rejoining node reclaims its old slot and the
+  /// chain order — insertion order of active slots — is re-linked around
+  /// a removed middle node). Re-adding an active slot updates the window.
+  Status AddPeerAt(uint32_t slot, uint64_t peer_cmb_window);
+  /// Drop the peer at `slot` from the group (its shadow no longer gates
+  /// the credit; chain order closes over the hole).
+  Status RemovePeer(uint32_t slot);
+  bool HasPeer(uint32_t slot) const {
+    return slot < kMaxPeers && peer_slots_[slot].active;
+  }
   void ClearPeers();
   uint32_t peer_count() const {
-    return static_cast<uint32_t>(peers_.size());
+    return static_cast<uint32_t>(active_slots_.size());
   }
+
+  // -- Term fencing (HA failover, see src/ha/) ------------------------------
+
+  /// Adopt replication term `term` with member slot `writer_slot` as the
+  /// authorised writer. Also records `writer_slot` as this device's own
+  /// slot for outgoing mirror traffic: the supervisor calls SetTerm on the
+  /// *leader* with the leader's slot, and on followers with the leader's
+  /// slot too (followers do not mirror, so the writer identity is always
+  /// the current leader's).
+  void SetTerm(uint64_t term, uint32_t writer_slot);
+  uint64_t term() const { return term_; }
+  uint64_t writer_term(uint32_t slot) const {
+    return slot < kMaxPeers ? writer_terms_[slot] : 0;
+  }
+  uint32_t member_slot() const { return member_slot_; }
+
+  /// Admission decision for a ring write arriving through the per-peer
+  /// intake alias of member `slot`: admitted iff the slot's writer term is
+  /// current. A deposed primary still pushing at its old term is fenced
+  /// here (split-brain protection); rejections are counted.
+  bool AdmitRingWrite(uint32_t slot);
+  uint64_t fenced_writes() const { return fenced_writes_; }
 
   /// Primary: mirror through a single NTB *multicast* window instead of
   /// one flow per peer — the hardware fan-out §4.2 mentions. Shadow
@@ -141,6 +175,11 @@ class TransportModule {
   void RetransmitRange(uint64_t window_base, uint64_t from);
   void RetransmitRound();
 
+  /// Base address of the ring intake on a peer reachable at `window_base`:
+  /// the shared host window, or this device's per-slot intake alias when
+  /// use_intake_aliases is set (so the receiver can term-fence us).
+  uint64_t PeerRingBase(uint64_t window_base) const;
+
   sim::Simulator* sim_;
   pcie::PcieFabric* fabric_;
   TransportConfig config_;
@@ -150,9 +189,23 @@ class TransportModule {
 
   uint64_t ring_bytes_ = 0;
   uint64_t multicast_window_ = 0;  ///< 0 = per-peer unicast flows
-  std::vector<uint64_t> peers_;  ///< local-fabric window of each peer's CMB
+
+  /// Sparse peer table indexed by member slot; active_slots_ keeps the
+  /// insertion order (the chain order: tail = back()).
+  struct PeerSlot {
+    uint64_t window = 0;  ///< local-fabric window of the peer's CMB BAR
+    bool active = false;
+  };
+  PeerSlot peer_slots_[kMaxPeers];
+  std::vector<uint32_t> active_slots_;
   uint64_t shadows_[kMaxPeers] = {0};
   sim::SimTime last_shadow_advance_ = 0;
+
+  // Term fencing state (HA).
+  uint64_t term_ = 0;
+  uint64_t writer_terms_[kMaxPeers] = {0};
+  uint32_t member_slot_ = 0;
+  uint64_t fenced_writes_ = 0;
 
   // Secondary state.
   uint64_t primary_shadow_addr_ = 0;
@@ -182,6 +235,7 @@ class TransportModule {
   obs::Counter* m_retransmit_rounds_ = nullptr;
   obs::Counter* m_retransmitted_bytes_ = nullptr;
   obs::Counter* m_degraded_entries_ = nullptr;
+  obs::Counter* m_fenced_writes_ = nullptr;
   obs::Gauge* m_replication_lag_bytes_ = nullptr;
   obs::Gauge* m_degraded_ = nullptr;
 };

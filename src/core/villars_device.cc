@@ -93,7 +93,17 @@ void VillarsDevice::OnMmioWrite(uint64_t offset, const uint8_t* data,
                                 size_t len) {
   if (halted_) return;
   if (offset >= kRingWindowOffset) {
-    cmb_->OnRingWrite(offset - kRingWindowOffset, data, len);
+    // Ring region: the direct host window first, then one intake alias per
+    // peer slot (same ring, but writes are attributed to a member slot and
+    // term-fenced — a deposed primary's stale pushes die here).
+    uint64_t rel = offset - kRingWindowOffset;
+    uint64_t window = rel / config_.cmb.ring_bytes;
+    uint64_t ring_offset = rel % config_.cmb.ring_bytes;
+    if (window > 0 &&
+        !transport_->AdmitRingWrite(static_cast<uint32_t>(window - 1))) {
+      return;
+    }
+    cmb_->OnRingWrite(ring_offset, data, len);
     return;
   }
   // Control-page writes.
@@ -140,10 +150,19 @@ uint64_t VillarsDevice::ReadRegister(uint64_t offset) const {
       return destage_->barrier();
     case kRegEpoch:
       return epoch_;
+    case kRegTerm:
+      return transport_->term();
+    case kRegFencedWrites:
+      return transport_->fenced_writes();
     default:
       if (offset >= kRegShadowBase && offset < kRegShadowBase + 8 * kMaxPeers) {
         return transport_->shadow_counter(
             static_cast<uint32_t>((offset - kRegShadowBase) / 8));
+      }
+      if (offset >= kRegWriterTermBase &&
+          offset < kRegWriterTermBase + 8 * kMaxPeers) {
+        return transport_->writer_term(
+            static_cast<uint32_t>((offset - kRegWriterTermBase) / 8));
       }
       return 0;
   }
@@ -155,7 +174,8 @@ void VillarsDevice::OnMmioRead(uint64_t offset, uint8_t* out, size_t len) {
       std::memset(out, 0, len);
       return;
     }
-    cmb_->ReadRing(offset - kRingWindowOffset, out, len);
+    cmb_->ReadRing((offset - kRingWindowOffset) % config_.cmb.ring_bytes, out,
+                   len);
     return;
   }
   // Control registers are 8-byte aligned; serve any aligned span.
@@ -173,6 +193,13 @@ void VillarsDevice::HandleVendorAdmin(
   nvme::Completion cpl;
   cpl.cid = cmd.cid;
   cpl.status = nvme::CmdStatus::kSuccess;
+  if (halted_) {
+    // A halted device answers nothing; the error completion models the
+    // driver-side timeout a dead peer would produce mid-setup.
+    cpl.status = nvme::CmdStatus::kInternalError;
+    done(cpl);
+    return;
+  }
   switch (static_cast<nvme::AdminOpcode>(cmd.opcode)) {
     case nvme::AdminOpcode::kXssdSetRole: {
       if (cmd.cdw10 > static_cast<uint32_t>(Role::kSecondary)) {
@@ -191,13 +218,31 @@ void VillarsDevice::HandleVendorAdmin(
     }
     case nvme::AdminOpcode::kXssdAddPeer: {
       uint64_t addr = (static_cast<uint64_t>(cmd.cdw12) << 32) | cmd.cdw11;
-      Status status = transport_->AddPeer(addr);
+      Status status = transport_->AddPeerAt(cmd.cdw10, addr);
+      if (!status.ok()) cpl.status = nvme::CmdStatus::kInvalidField;
+      break;
+    }
+    case nvme::AdminOpcode::kXssdRemovePeer: {
+      Status status = transport_->RemovePeer(cmd.cdw10);
       if (!status.ok()) cpl.status = nvme::CmdStatus::kInvalidField;
       break;
     }
     case nvme::AdminOpcode::kXssdClearPeers:
       transport_->ClearPeers();
       break;
+    case nvme::AdminOpcode::kXssdSetTerm: {
+      if (cmd.cdw11 >= kMaxPeers) {
+        cpl.status = nvme::CmdStatus::kInvalidField;
+        break;
+      }
+      transport_->SetTerm(cmd.cdw10, cmd.cdw11);
+      break;
+    }
+    case nvme::AdminOpcode::kXssdTruncate: {
+      uint64_t cut = (static_cast<uint64_t>(cmd.cdw11) << 32) | cmd.cdw10;
+      TruncateLog(cut);
+      break;
+    }
     case nvme::AdminOpcode::kXssdSetUpdatePeriod:
       transport_->set_update_period(sim::Ns(cmd.cdw10));
       break;
@@ -250,6 +295,30 @@ void VillarsDevice::CrashHard() {
   cmb_->AbandonStagingForCrash();
 }
 
+void VillarsDevice::TruncateLog(uint64_t offset) {
+  cmb_->TruncateTo(offset);
+  if (destage_->destage_cursor() > offset) {
+    // Pages beyond the cut already went to flash and cannot be unwritten;
+    // rolling the cursor back would break the sequence-chain law. Restart
+    // the destage stream in a fresh epoch instead — recovery keeps only
+    // the newest epoch, so the stale pages are ignored, and [0, offset)
+    // re-destages under the new epoch stamp.
+    ++epoch_;
+    destage_ = std::make_unique<DestageModule>(sim_, ftl_.get(), cmb_.get(),
+                                               config_.destage, epoch_);
+    if (metrics_registry_ != nullptr) {
+      destage_->SetMetrics(metrics_registry_, metrics_prefix_);
+    }
+    if (injector_ != nullptr) {
+      destage_->SetFaultInjector(injector_, name_ + "/");
+    }
+    cmb_->set_destaged_floor(0);
+    WireHooks();
+  }
+  destage_->OnCreditAdvance(cmb_->local_credit());
+  transport_->OnLocalCredit(cmb_->local_credit());
+}
+
 void VillarsDevice::Reboot() {
   ++epoch_;
   halted_ = false;
@@ -268,6 +337,11 @@ void VillarsDevice::Reboot() {
   // destages do not immediately overwrite recovery data. Recovery tooling
   // reads the ring before writing resumes.
   WireHooks();
+  // The transport module survives the reboot (term fence, role, peers),
+  // but its credit view must follow the reset CMB: a rebooted secondary
+  // advertising its pre-crash counter would make the primary skip the
+  // catch-up prefix during resync.
+  transport_->OnLocalCredit(cmb_->local_credit());
 }
 
 }  // namespace xssd::core

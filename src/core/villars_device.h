@@ -45,8 +45,11 @@ class VillarsDevice : public pcie::MmioDevice {
   uint64_t cmb_base() const { return cmb_base_; }
   /// Bus address of the ring window (cmb_base + control page).
   uint64_t ring_window_base() const { return cmb_base_ + kRingWindowOffset; }
+  /// Control page + direct ring window + one ring-sized intake alias per
+  /// configured peer slot (CmbConfig::peer_intake_slots; 0 = legacy BAR).
   uint64_t cmb_bar_bytes() const {
-    return kCtrlPageBytes + config_.cmb.ring_bytes;
+    return kCtrlPageBytes +
+           config_.cmb.ring_bytes * (1 + config_.cmb.peer_intake_slots);
   }
 
   // pcie::MmioDevice — the CMB BAR (control page + ring window).
@@ -69,6 +72,13 @@ class VillarsDevice : public pcie::MmioDevice {
   /// Bring the device back: fast side restarts empty in a new epoch; the
   /// conventional side (flash) retains everything destaged.
   void Reboot();
+
+  /// HA resync: discard stream bytes at or above `offset` (the rejoining
+  /// secondary's unreplicated suffix). If pages beyond the cut were already
+  /// issued to flash, the destage stream restarts in a fresh epoch so the
+  /// recovery chain walk ignores them; otherwise the cursor simply stops
+  /// short of the cut. Exposed over admin as kXssdTruncate.
+  void TruncateLog(uint64_t offset);
 
   bool halted() const { return halted_; }
   uint32_t epoch() const { return epoch_; }

@@ -5,6 +5,17 @@
 
 namespace xssd::host {
 
+namespace {
+
+ntb::NtbConfig NodeNtbConfig() {
+  ntb::NtbConfig config;
+  config.scratchpad_offset = NodeLayout::kNtbScratchpadOffset;
+  config.scratchpad_bytes = NodeLayout::kScratchpadBytes;
+  return config;
+}
+
+}  // namespace
+
 StorageNode::StorageNode(sim::Simulator* sim,
                          const core::VillarsConfig& device_config,
                          const pcie::FabricConfig& fabric_config,
@@ -14,7 +25,7 @@ StorageNode::StorageNode(sim::Simulator* sim,
       fabric_(sim, fabric_config, name_ + "/fabric"),
       device_(sim, &fabric_, device_config, name_ + "/villars"),
       driver_(sim, &fabric_, &device_.controller(), NodeLayout::kBar0Base),
-      ntb_(sim, &fabric_, ntb::NtbConfig{}, name_ + "/ntb"),
+      ntb_(sim, &fabric_, NodeNtbConfig(), name_ + "/ntb"),
       client_(std::make_unique<XLogClient>(sim, &fabric_,
                                            NodeLayout::kCmbBase,
                                            client_options)) {}
@@ -25,8 +36,9 @@ Status StorageNode::Init() {
       device_.Attach(NodeLayout::kBar0Base, NodeLayout::kCmbBase));
   XSSD_RETURN_IF_ERROR(fabric_.AddMmioRegion(
       NodeLayout::kNtbBase,
-      NodeLayout::kNtbWindowBytes * core::kMaxPeers, &ntb_,
-      name_ + "/ntb-bar"));
+      NodeLayout::kNtbWindowBytes * core::kMaxPeers +
+          NodeLayout::kScratchpadBytes,
+      &ntb_, name_ + "/ntb-bar"));
   ntb_attached_ = true;
   XSSD_RETURN_IF_ERROR(driver_.Initialize());
   XSSD_RETURN_IF_ERROR(client_->Setup());
@@ -72,6 +84,16 @@ Result<uint64_t> StorageNode::ConnectMulticastWindowTo(
   }
   XSSD_RETURN_IF_ERROR(
       ntb_.AddMulticastWindow(window_offset, size, std::move(members)));
+  return NodeLayout::kNtbBase + window_offset;
+}
+
+Result<uint64_t> StorageNode::ConnectScratchpadWindowTo(uint32_t slot,
+                                                        StorageNode& peer) {
+  if (!ntb_attached_) return Status::FailedPrecondition("Init() first");
+  uint64_t window_offset = slot * NodeLayout::kNtbWindowBytes;
+  XSSD_RETURN_IF_ERROR(ntb_.AddWindow(window_offset,
+                                      NodeLayout::kScratchpadBytes,
+                                      &peer.fabric(), ScratchpadBase()));
   return NodeLayout::kNtbBase + window_offset;
 }
 

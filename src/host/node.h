@@ -21,6 +21,12 @@ struct NodeLayout {
   /// One NTB window per potential peer, 256 MiB apart (covers a DRAM-sized
   /// CMB BAR).
   static constexpr uint64_t kNtbWindowBytes = 0x1000'0000ull;
+  /// Doorbell/scratchpad page at the top of the NTB BAR, past every peer
+  /// window: peers post heartbeats here, the local HA supervisor reads
+  /// them back (ntb::NtbConfig scratchpad region).
+  static constexpr uint64_t kNtbScratchpadOffset =
+      kNtbWindowBytes * core::kMaxPeers;
+  static constexpr uint64_t kScratchpadBytes = 4096;
 };
 
 /// \brief One simulated server: a PCIe fabric with a Villars device, an
@@ -49,6 +55,17 @@ class StorageNode {
   /// peer's CMB BAR (§4.2). Returns the local bus address of the window.
   Result<uint64_t> ConnectMulticastWindowTo(
       uint32_t slot, const std::vector<StorageNode*>& peers);
+
+  /// Map NTB window `slot` onto `peer`'s NTB scratchpad page (heartbeat
+  /// mailbox). Returns the local bus address of the window.
+  Result<uint64_t> ConnectScratchpadWindowTo(uint32_t slot,
+                                             StorageNode& peer);
+
+  /// Local bus address of this node's own scratchpad page (where peers'
+  /// heartbeats land; read with fabric().FunctionalRead).
+  static constexpr uint64_t ScratchpadBase() {
+    return NodeLayout::kNtbBase + NodeLayout::kNtbScratchpadOffset;
+  }
 
   /// Register metrics for the device, fabric, and NTB adapter under
   /// `prefix` (empty for the acceptance-standard plain "cmb.*" names;

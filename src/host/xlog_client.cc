@@ -29,6 +29,7 @@ Status XLogClient::Setup() {
       read_reg(core::kRegDestageStartLba, &destage_start_lba_));
   XSSD_RETURN_IF_ERROR(
       read_reg(core::kRegDestageLbaCount, &destage_lba_count_));
+  XSSD_RETURN_IF_ERROR(read_reg(core::kRegEpoch, &epoch_cache_));
   if (queue_bytes_ == 0 || ring_bytes_ == 0) {
     return Status::FailedPrecondition("device reported empty CMB geometry");
   }
@@ -52,16 +53,22 @@ Status XLogClient::ResumeAtDeviceTail() {
 }
 
 Status XLogClient::Reconnect() {
+  uint64_t epoch_before = epoch_cache_;
   XSSD_RETURN_IF_ERROR(Setup());
   XSSD_RETURN_IF_ERROR(ResumeAtDeviceTail());
-  // The reboot started a fresh epoch at stream offset 0; tail reads restart
-  // with it. Allocations from the dead session cannot be completed.
-  read_cursor_ = 0;
-  read_seq_ = 0;
-  tail_leftover_.clear();
-  allocations_.clear();
-  alloc_head_ = 0;
-  PushBarrier();
+  if (epoch_cache_ != epoch_before) {
+    // A reboot (or HA truncation) started a fresh epoch at stream offset
+    // 0; tail reads restart with it. Allocations from the dead session
+    // cannot be completed.
+    read_cursor_ = 0;
+    read_seq_ = 0;
+    tail_leftover_.clear();
+    allocations_.clear();
+    alloc_head_ = 0;
+    PushBarrier();
+  }
+  // Epoch unchanged: the local device was promoted with its log intact —
+  // keep every cursor and just resume at the adopted tail.
   ++reconnects_;
   return Status::OK();
 }
@@ -173,6 +180,13 @@ void XLogClient::SyncLoop(DoneCallback done, sim::SimTime last_progress) {
                      ++sync_failures_;
                      done(Status::Unavailable(
                          "device halted with unsynced log bytes"));
+                     return;
+                   }
+                   if (options_.fail_on_stall) {
+                     ++sync_failures_;
+                     done(Status::DeadlineExceeded(
+                         "sync made no progress within the stall timeout; "
+                         "device alive"));
                      return;
                    }
                    // Alive (possibly degraded): grant another stall window

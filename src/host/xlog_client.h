@@ -31,6 +31,12 @@ struct XLogClientOptions {
   /// then fails with Unavailable so the caller can Reconnect(). 0 waits
   /// forever (the seed behaviour).
   sim::SimTime sync_stall_timeout = 0;
+  /// With a stall timeout set, also fail a Sync whose counter stalled on a
+  /// device that is *alive* — with DeadlineExceeded, distinguishing "log
+  /// stream stuck" (replication stalled, fenced writer) from "device died"
+  /// (Unavailable). Off by default: a healthy-but-slow device should be
+  /// waited out, and only HA-aware callers retry on DeadlineExceeded.
+  bool fail_on_stall = false;
 };
 
 /// \brief Host-side fast-path client for one Villars device: the engine
@@ -63,11 +69,14 @@ class XLogClient {
   /// where it ends rather than at offset 0.
   Status ResumeAtDeviceTail();
 
-  /// Re-establish the session after the device came back from a crash or
-  /// power failure (Reboot()): re-reads geometry, adopts the device's
-  /// post-recovery tail as the append position, and resets the tail-read
-  /// cursors to the new epoch's stream. Outstanding allocations are
-  /// discarded — their bytes died with the fast side.
+  /// Re-establish the session after the device changed underneath the
+  /// client: re-reads geometry and adopts the device's current tail as the
+  /// append position. If the device's destage epoch changed (crash/power
+  /// failure + Reboot(), or an HA truncation), the tail-read cursors reset
+  /// to the new epoch's stream and outstanding allocations are discarded —
+  /// their bytes died with the fast side. If the epoch is unchanged (the
+  /// local device was *promoted*, its log intact), cursors and allocations
+  /// are preserved: the client simply resumes appending at the device tail.
   Status Reconnect();
 
   /// Sessions established (initial Setup excluded).
@@ -91,6 +100,8 @@ class XLogClient {
   uint64_t written() const { return written_; }
   /// Last credit value observed.
   uint64_t credit_cache() const { return credit_cache_; }
+  /// Device destage epoch observed at the last Setup()/Reconnect().
+  uint64_t epoch_cache() const { return epoch_cache_; }
   /// Number of credit-register polls issued (flow-control cost metric).
   uint64_t credit_polls() const { return credit_polls_; }
 
@@ -153,6 +164,7 @@ class XLogClient {
 
   uint64_t written_ = 0;
   uint64_t credit_cache_ = 0;
+  uint64_t epoch_cache_ = 0;
   uint64_t destaged_cache_ = 0;
   uint64_t credit_polls_ = 0;
   uint64_t reconnects_ = 0;

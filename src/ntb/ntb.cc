@@ -12,7 +12,9 @@ NtbAdapter::NtbAdapter(sim::Simulator* sim, pcie::PcieFabric* local,
       local_(local),
       config_(config),
       name_(std::move(name)),
-      link_(sim, config.bytes_per_sec) {}
+      link_(sim, config.bytes_per_sec) {
+  scratchpad_.resize(config_.scratchpad_bytes, 0);
+}
 
 void NtbAdapter::SetMetrics(obs::MetricsRegistry* registry,
                             const std::string& prefix) {
@@ -69,6 +71,23 @@ const NtbAdapter::Window* NtbAdapter::FindWindow(uint64_t offset) const {
 
 void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
                              size_t len) {
+  if (config_.scratchpad_bytes > 0 && offset >= config_.scratchpad_offset &&
+      offset + len <= config_.scratchpad_offset + config_.scratchpad_bytes) {
+    // Scratchpad store: terminate locally, never forward. An inbound
+    // link-down window loses it the same way it loses a forwarded write —
+    // a heartbeat the failure detector simply never sees.
+    if (scratchpad_injector_ != nullptr &&
+        scratchpad_injector_->NtbForwardDecision().action ==
+            fault::FaultInjector::LinkAction::kDrop) {
+      ++scratchpad_dropped_;
+      return;
+    }
+    std::copy(data, data + len,
+              scratchpad_.begin() +
+                  static_cast<ptrdiff_t>(offset - config_.scratchpad_offset));
+    ++scratchpad_writes_;
+    return;
+  }
   const Window* window = FindWindow(offset);
   if (window == nullptr || offset + len > window->offset + window->size) {
     XSSD_LOG(kWarning) << name_ << ": write outside any NTB window";
@@ -127,6 +146,13 @@ void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
 }
 
 void NtbAdapter::OnMmioRead(uint64_t offset, uint8_t* out, size_t len) {
+  if (config_.scratchpad_bytes > 0 && offset >= config_.scratchpad_offset &&
+      offset + len <= config_.scratchpad_offset + config_.scratchpad_bytes) {
+    auto base = scratchpad_.begin() +
+                static_cast<ptrdiff_t>(offset - config_.scratchpad_offset);
+    std::copy(base, base + static_cast<ptrdiff_t>(len), out);
+    return;
+  }
   // Cross-NTB reads exist but are slow and unused by the Villars protocol
   // (all coordination is done with posted writes). Serve them functionally
   // from the first member for completeness.

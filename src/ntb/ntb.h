@@ -26,6 +26,12 @@ struct NtbConfig {
   double bytes_per_sec = 2e9;             ///< cross-link bandwidth
   sim::SimTime hop_latency = sim::Ns(1300);  ///< adapter cut-through latency
   uint32_t forward_chunk = 64;           ///< TLP payload granularity
+  /// Doorbell/scratchpad region of the BAR: writes landing here are stored
+  /// locally (never forwarded) and served back to reads — the mailbox real
+  /// NTB hardware exposes, used by the HA supervisor for heartbeats.
+  /// scratchpad_bytes == 0 disables the region.
+  uint64_t scratchpad_offset = 0;
+  uint64_t scratchpad_bytes = 0;
 };
 
 /// \brief A Non-Transparent Bridge adapter: an MMIO window on the local
@@ -92,10 +98,24 @@ class NtbAdapter : public pcie::MmioDevice {
 
   /// Attach a fault injector (nullptr detaches). Link-down windows silently
   /// drop forwarded writes (the sender's posted write cannot tell); stall
-  /// windows add the injected delay on top of the hop latency.
+  /// windows add the injected delay on top of the hop latency. Also governs
+  /// inbound scratchpad stores (see set_scratchpad_fault_injector).
   void set_fault_injector(fault::FaultInjector* injector) {
     injector_ = injector;
+    scratchpad_injector_ = injector;
   }
+
+  /// Separate injector for *inbound* scratchpad stores only, so a bench
+  /// can partition heartbeat delivery asymmetrically from the data path
+  /// (a node whose outbound link heals before its inbound one — the
+  /// split-brain shape the fencing test needs). nullptr detaches.
+  void set_scratchpad_fault_injector(fault::FaultInjector* injector) {
+    scratchpad_injector_ = injector;
+  }
+
+  /// Inbound scratchpad stores accepted / dropped by injected faults.
+  uint64_t scratchpad_writes() const { return scratchpad_writes_; }
+  uint64_t scratchpad_dropped() const { return scratchpad_dropped_; }
 
  private:
   struct Window {
@@ -114,7 +134,11 @@ class NtbAdapter : public pcie::MmioDevice {
   std::string name_;
   sim::BandwidthServer link_;
   std::vector<Window> windows_;
+  std::vector<uint8_t> scratchpad_;
+  uint64_t scratchpad_writes_ = 0;
+  uint64_t scratchpad_dropped_ = 0;
   fault::FaultInjector* injector_ = nullptr;
+  fault::FaultInjector* scratchpad_injector_ = nullptr;
 
   uint64_t forwarded_wire_bytes_ = 0;
   uint64_t forwarded_payload_bytes_ = 0;

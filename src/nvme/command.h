@@ -28,6 +28,9 @@ enum class AdminOpcode : uint8_t {
   kXssdSetReplication = 0xC4, ///< cdw10: ReplicationProtocol
   kXssdGetLogRing = 0xC5,     ///< returns destage ring head/tail in result
   kXssdClearPeers = 0xC6,
+  kXssdSetTerm = 0xC7,        ///< cdw10: term, cdw11: authorised writer slot
+  kXssdRemovePeer = 0xC8,     ///< cdw10: member slot to drop from the group
+  kXssdTruncate = 0xC9,       ///< cdw11:cdw10: keep stream bytes [0, offset)
 };
 
 /// \brief One 64-byte submission-queue entry.

@@ -68,6 +68,16 @@ class IntervalSet {
   bool empty() const { return map_.empty(); }
   void Clear() { map_.clear(); }
 
+  /// Drop all interval data at or above `above` (truncated suffix).
+  void TrimAbove(uint64_t above) {
+    auto it = map_.lower_bound(above);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > above) prev->second = above;
+    }
+    map_.erase(it, map_.end());
+  }
+
   /// Drop all interval data below `below` (already consumed / destaged).
   void TrimBelow(uint64_t below) {
     auto it = map_.begin();

@@ -89,6 +89,42 @@ TEST(Conformance, ReplicatedScheduleChecksSecondaries) {
   EXPECT_EQ(result.appended, 6144u);
 }
 
+TEST(Conformance, FailoverScheduleConformsAndPromotesExactlyOnce) {
+  Result<Schedule> schedule = ScheduleFromText(
+      "seed 21\n"
+      "protocol eager\n"
+      "secondaries 2\n"
+      "append 8192\n"
+      "fsync\n"
+      "failover\n"
+      "append 4096\n"
+      "fsync\n"
+      "read 512\n");
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_TRUE(schedule->HasFailover());
+  CheckResult result = RunSchedule(*schedule);
+  EXPECT_TRUE(result.ok) << result.first_divergence;
+  EXPECT_TRUE(result.failed_over);
+  EXPECT_EQ(result.promotions, 1u);
+  EXPECT_FALSE(result.crashed);  // failover is not the crash path
+}
+
+TEST(Conformance, GeneratedFailoverSchedulesConform) {
+  // Sweep seeds until a handful of generated schedules carrying a
+  // failover op have run clean — the same mix the check_campaign sees.
+  int ran = 0;
+  for (uint64_t seed = 1; seed <= 60 && ran < 3; ++seed) {
+    Schedule schedule = GenerateSchedule(seed, 30);
+    if (!schedule.HasFailover()) continue;
+    ++ran;
+    CheckResult result = RunSchedule(schedule);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": "
+                           << result.first_divergence;
+    EXPECT_TRUE(result.failed_over) << "seed " << seed;
+  }
+  EXPECT_EQ(ran, 3) << "generator produced too few failover schedules";
+}
+
 TEST(Conformance, PlantedOrderingBugIsCaught) {
   CheckOptions options;
   options.plant_early_credit_bug = true;

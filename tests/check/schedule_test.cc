@@ -64,6 +64,36 @@ TEST(Schedule, AtMostOneCrashPerSchedule) {
   }
 }
 
+TEST(Schedule, FailoverOnlyInThreeMemberClustersAndExclusiveWithCrash) {
+  size_t with_failover = 0;
+  for (uint64_t seed = 1; seed <= 80; ++seed) {
+    Schedule s = GenerateSchedule(seed, 40);
+    size_t failovers = 0;
+    for (const Op& op : s.ops) {
+      if (op.kind == Op::Kind::kFailover) ++failovers;
+    }
+    EXPECT_LE(failovers, 1u) << "seed " << seed;
+    if (failovers > 0) {
+      ++with_failover;
+      // Failover needs a live majority after the primary dies, and never
+      // rides with a crash clause (both kill the primary).
+      EXPECT_EQ(s.secondaries, 2u) << "seed " << seed;
+      EXPECT_FALSE(s.HasCrash()) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(with_failover, 0u) << "generator never emits failover";
+}
+
+TEST(Schedule, FailoverDirectiveRoundTrips) {
+  Result<Schedule> parsed = ScheduleFromText(
+      "seed 3\nprotocol chain\nsecondaries 2\nappend 128\nfailover\nfsync\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->ops.size(), 3u);
+  EXPECT_EQ(parsed->ops[1].kind, Op::Kind::kFailover);
+  EXPECT_TRUE(parsed->HasFailover());
+  EXPECT_EQ(ToText(*parsed), ToText(*ScheduleFromText(ToText(*parsed))));
+}
+
 TEST(Schedule, TextRoundTripIsExact) {
   for (uint64_t seed : {1ull, 17ull, 23ull, 42ull}) {
     Schedule original = GenerateSchedule(seed, 40);

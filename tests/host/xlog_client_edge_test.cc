@@ -8,6 +8,8 @@
 
 #include <vector>
 
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "host/node.h"
 #include "host/xcalls.h"
 #include "host/xlog_client.h"
@@ -135,6 +137,78 @@ TEST_F(XLogClientEdgeTest, ReconnectAfterHardCrash) {
   EXPECT_EQ(x_pwrite(sim_, node_.client(), fresh.data(), fresh.size()),
             static_cast<ssize_t>(fresh.size()));
   EXPECT_EQ(x_fsync(sim_, node_.client()), 0);
+}
+
+TEST(XLogClientTypedErrors, StallOnLiveDeviceIsDeadlineExceeded) {
+  // fail_on_stall turns "no progress but the device is alive" into a typed
+  // DeadlineExceeded — the signal a failover workload uses to distinguish
+  // a stuck log stream (wait or switch) from a dead device (Unavailable).
+  // Here the stream is stuck because the eager secondary never receives the
+  // mirror bytes: the primary's outbound NTB is down and retransmit is off.
+  sim::Simulator sim;
+  core::VillarsConfig config = SmallConfig();
+  config.transport.retransmit_timeout = 0;
+  XLogClientOptions options = WithStallTimeout(sim::Ms(1));
+  options.fail_on_stall = true;
+  StorageNode primary(&sim, config, pcie::FabricConfig{}, "pri", options);
+  StorageNode secondary(&sim, config, pcie::FabricConfig{}, "sec");
+  ASSERT_TRUE(primary.Init().ok());
+  ASSERT_TRUE(secondary.Init().ok());
+  ReplicationGroup group({&primary, &secondary});
+  ASSERT_TRUE(
+      group.Setup(core::ReplicationProtocol::kEager, sim::UsF(0.8)).ok());
+
+  fault::FaultPlan plan =
+      fault::FaultPlanBuilder("blackout")
+          .Window(fault::FaultKind::kNtbLinkDown, sim::Ns(0), sim::Ms(100))
+          .Build();
+  fault::FaultInjector injector(&sim, plan, 3);
+  primary.ntb().set_fault_injector(&injector);
+
+  std::vector<uint8_t> data(4096, 0x6B);
+  ASSERT_EQ(x_pwrite(sim, primary.client(), data.data(), data.size()),
+            static_cast<ssize_t>(data.size()));
+  Status sync_status = Status::Internal("pending");
+  primary.client().Sync([&](Status s) { sync_status = s; });
+  sim.RunFor(sim::Ms(20));
+
+  EXPECT_TRUE(sync_status.IsDeadlineExceeded()) << sync_status.ToString();
+  EXPECT_EQ(primary.client().sync_failures(), 1u);
+  EXPECT_FALSE(primary.device().halted());
+  // Local persistence kept going — only replication credit is stuck.
+  EXPECT_GE(primary.device().cmb().local_credit(), data.size());
+}
+
+TEST_F(XLogClientEdgeTest, ReconnectWithoutEpochChangeKeepsCursors) {
+  // A promotion-time Reconnect targets the same log in the same epoch: the
+  // client must adopt the device tail without discarding its read cursor
+  // or acked history, so tail consumption resumes where it left off.
+  std::vector<uint8_t> data(8192, 0x2E);
+  ASSERT_EQ(x_pwrite(sim_, node_.client(), data.data(), data.size()),
+            static_cast<ssize_t>(data.size()));
+  ASSERT_EQ(x_fsync(sim_, node_.client()), 0);
+  std::vector<uint8_t> head(1024);
+  ASSERT_EQ(x_pread(sim_, node_.client(), node_.driver(), head.data(),
+                    head.size()),
+            static_cast<ssize_t>(head.size()));
+
+  uint64_t written_before = node_.client().written();
+  ASSERT_TRUE(node_.client().Reconnect().ok());
+  EXPECT_EQ(node_.client().reconnects(), 1u);
+  EXPECT_EQ(node_.client().written(), written_before);
+
+  // The next tail read continues from byte 1024 — no replay, no reset.
+  std::vector<uint8_t> next(1024);
+  ASSERT_EQ(x_pread(sim_, node_.client(), node_.driver(), next.data(),
+                    next.size()),
+            static_cast<ssize_t>(next.size()));
+  EXPECT_EQ(next, std::vector<uint8_t>(1024, 0x2E));
+
+  // A reboot bumps the epoch: the same call now resets the read path.
+  node_.device().Reboot();
+  ASSERT_TRUE(node_.client().Reconnect().ok());
+  EXPECT_EQ(node_.client().reconnects(), 2u);
+  EXPECT_EQ(node_.client().written(), 0u);
 }
 
 }  // namespace
