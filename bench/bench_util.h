@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/critical_path.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
@@ -46,8 +48,10 @@ inline void PrintHeader(const std::string& title) {
 ///
 /// Flags consumed from argv (remaining arguments are exposed through
 /// positional()):
-///   --metrics PATH   snapshot destination (default: <name>.metrics.json)
-///   --trace PATH     record simulator events as Chrome trace_event JSON
+///   --metrics PATH     snapshot destination (default: <name>.metrics.json)
+///   --trace PATH       record simulator events as Chrome trace_event JSON
+///   --breakdown PATH   record request spans and write the critical-path
+///                      latency breakdown (per run, per request kind)
 ///
 /// Device counters accumulate across every run the bench performs; per-run
 /// headline numbers go in as `bench.<name>.*` gauges via SetResult(), so
@@ -63,6 +67,8 @@ class BenchReporter {
       } else if (arg == "--trace" && i + 1 < argc) {
         trace_path_ = argv[++i];
         trace_ = std::make_unique<obs::ChromeTraceWriter>();
+      } else if (arg == "--breakdown" && i + 1 < argc) {
+        breakdown_path_ = argv[++i];
       } else {
         positional_.push_back(std::move(arg));
       }
@@ -79,6 +85,20 @@ class BenchReporter {
     trace_->BeginProcess(run_label);
     sim->set_trace_sink(trace_.get());
   }
+
+  /// Allocate a fresh span recorder for one run (nullptr unless
+  /// --breakdown was given). The bench wires it into its nodes via
+  /// EnableSpans; Finish() analyses every recorder into the breakdown
+  /// report. One recorder per run keeps stream-offset joins unambiguous.
+  obs::SpanRecorder* AttachSpans(sim::Simulator* sim,
+                                 const std::string& run_label) {
+    if (breakdown_path_.empty()) return nullptr;
+    span_runs_.push_back(
+        {run_label, std::make_unique<obs::SpanRecorder>(sim)});
+    return span_runs_.back().recorder.get();
+  }
+
+  bool breakdown_enabled() const { return !breakdown_path_.empty(); }
 
   /// Record one headline result as a gauge named
   /// "bench.<name>.<label>.<field>".
@@ -104,6 +124,30 @@ class BenchReporter {
     }
     std::printf("\nmetrics snapshot: %s (%zu metrics)\n",
                 metrics_path_.c_str(), registry_.size());
+    if (!breakdown_path_.empty()) {
+      obs::BreakdownReporter breakdown(name_);
+      for (const SpanRun& run : span_runs_) {
+        breakdown.AddRun(run.label, *run.recorder);
+        if (trace_) EmitSpansToTrace(*run.recorder, trace_.get());
+      }
+      status = breakdown.WriteFile(breakdown_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "breakdown export failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("breakdown: %s (%llu requests)\n", breakdown_path_.c_str(),
+                  static_cast<unsigned long long>(breakdown.request_count()));
+      if (breakdown.conservation_violations() > 0) {
+        // The invariant every consumer of the report relies on: attributed
+        // segments partition each request's end-to-end latency exactly.
+        std::fprintf(stderr,
+                     "breakdown conservation violated for %llu requests\n",
+                     static_cast<unsigned long long>(
+                         breakdown.conservation_violations()));
+        return 1;
+      }
+    }
     if (trace_) {
       status = trace_->WriteFile(trace_path_);
       if (!status.ok()) {
@@ -119,12 +163,19 @@ class BenchReporter {
   }
 
  private:
+  struct SpanRun {
+    std::string label;
+    std::unique_ptr<obs::SpanRecorder> recorder;
+  };
+
   std::string name_;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string breakdown_path_;
   std::vector<std::string> positional_;
   obs::MetricsRegistry registry_;
   std::unique_ptr<obs::ChromeTraceWriter> trace_;
+  std::vector<SpanRun> span_runs_;
 };
 
 }  // namespace xssd::bench

@@ -125,6 +125,12 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
   });
   primary.EnableMetrics(&reporter.registry(), "pri.");
   secondary.EnableMetrics(&reporter.registry(), "sec.");
+  // Always-on span recording: the scenario's metrics snapshot carries a
+  // latency-breakdown block, and segment/e2e conservation joins the
+  // campaign invariants.
+  obs::SpanRecorder spans(&sim);
+  primary.EnableSpans(&spans, "pri");
+  secondary.EnableSpans(&spans, "sec");
 
   // Seeded random reference stream, appended in random-sized records. The
   // driver loop is callback-chained (not blocking) so a mid-append crash
@@ -226,6 +232,13 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
   if (PlanHasCrash(plan)) {
     check(injector.crashed(), "plan has a crash clause that never fired");
   }
+
+  obs::BreakdownReporter breakdown("fault_campaign");
+  breakdown.AddRun(label, spans);
+  breakdown.ExportGauges(&reporter.registry(),
+                         "bench.fault_campaign." + label + ".");
+  check(breakdown.conservation_violations() == 0,
+        "latency attribution violated segment/e2e conservation");
 
   reporter.SetResult(label, "submitted", static_cast<double>(submitted));
   reporter.SetResult(label, "faults_injected",

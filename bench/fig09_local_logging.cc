@@ -74,6 +74,10 @@ RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure,
   // Unprefixed registration: the snapshot carries the plain device-metric
   // namespace (cmb.*, destage.*, flash.*, ...), accumulated across runs.
   node.EnableMetrics(&reporter->registry());
+  if (obs::SpanRecorder* spans =
+          reporter->AttachSpans(&sim, RunLabel(method, workers))) {
+    node.EnableSpans(spans, "dev");
+  }
 
   std::unique_ptr<db::LogBackend> backend;
   switch (method) {

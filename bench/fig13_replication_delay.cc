@@ -49,6 +49,11 @@ RunResult RunOne(double update_period_us, sim::SimTime duration,
   // Node prefixes keep the two devices' metric namespaces apart.
   primary.EnableMetrics(&reporter->registry(), "pri.");
   secondary.EnableMetrics(&reporter->registry(), "sec.");
+  if (obs::SpanRecorder* spans =
+          reporter->AttachSpans(&sim, RunLabel(update_period_us))) {
+    primary.EnableSpans(spans, "pri");
+    secondary.EnableSpans(spans, "sec");
+  }
 
   host::ReplicationGroup group({&primary, &secondary});
   Status status = group.Setup(core::ReplicationProtocol::kEager,

@@ -173,9 +173,14 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
     return 1;
   }
   supervisor.Start();
+  // Always-on span recording: the scenario's metrics snapshot carries a
+  // latency-breakdown block, and the conservation invariant below becomes
+  // part of the campaign's pass/fail verdict.
+  obs::SpanRecorder spans(&sim);
   for (size_t i = 0; i < 3; ++i) {
     nodes[i]->EnableMetrics(&reporter.registry(),
                             "n" + std::to_string(i) + ".");
+    nodes[i]->EnableSpans(&spans, "n" + std::to_string(i));
   }
 
   int failures = 0;
@@ -412,6 +417,13 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
     }
     check(injector->totals().ntb_dropped >= 1, "plan injected no faults");
   }
+
+  obs::BreakdownReporter breakdown("ha_campaign");
+  breakdown.AddRun(label, spans);
+  breakdown.ExportGauges(&reporter.registry(),
+                         "bench.ha_campaign." + label + ".");
+  check(breakdown.conservation_violations() == 0,
+        "latency attribution violated segment/e2e conservation");
 
   reporter.SetResult(label, "acked", static_cast<double>(acked));
   reporter.SetResult(label, "final_credit",

@@ -63,6 +63,18 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
     if (m_overwrite_violations_) m_overwrite_violations_->Add();
   }
 
+  // Open the chunk's staging span under the ambient request context (the
+  // append root on a primary, the NTB link span on a secondary) and make
+  // it current for the synchronous arrival fan-out, so the transport
+  // mirror nests under the chunk that triggered it.
+  obs::SpanContext span_ctx;
+  if (spans_) {
+    span_ctx = spans_->StartSpan(obs::Stage::kCmbStage, span_node_,
+                                 spans_->current());
+    spans_->SetRange(span_ctx, stream_offset, stream_offset + len);
+  }
+  obs::ScopedContext span_scope(spans_, span_ctx);
+
   if (arrival_observer_) arrival_observer_(stream_offset, data, len);
   if (arrival_hook_) arrival_hook_(stream_offset, data, len);
 
@@ -73,7 +85,8 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
 
   // Stage, then proactively dequeue into backing memory (Figure 5, 1→2).
   staging_.push_back(
-      Staged{stream_offset, std::vector<uint8_t>(data, data + len)});
+      Staged{stream_offset, std::vector<uint8_t>(data, data + len),
+             span_ctx});
   staging_bytes_ += len;
   if (m_staging_occupancy_) {
     m_staging_occupancy_->Set(static_cast<double>(staging_bytes_));
@@ -95,7 +108,7 @@ void CmbModule::OnRingWrite(uint64_t ring_offset, const uint8_t* data,
     if (m_staging_occupancy_) {
       m_staging_occupancy_->Set(static_cast<double>(staging_bytes_));
     }
-    Persist(chunk.stream_offset, std::move(chunk.data));
+    Persist(chunk.stream_offset, std::move(chunk.data), chunk.span);
   });
 }
 
@@ -105,13 +118,23 @@ void CmbModule::SetFaultInjector(fault::FaultInjector* injector,
   site_prefix_ = std::move(site_prefix);
 }
 
-void CmbModule::Persist(uint64_t stream_offset, std::vector<uint8_t> data) {
+void CmbModule::SetSpans(obs::SpanRecorder* spans,
+                         const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
+void CmbModule::Persist(uint64_t stream_offset, std::vector<uint8_t> data,
+                        obs::SpanContext span) {
   if (injector_ != nullptr &&
       injector_->CrashPoint(site_prefix_ + "cmb.persist")) {
     // The crash handler ran inside CrashPoint; this chunk was already off
     // the staging queue and dies here, leaving a gap above the credit.
     return;
   }
+  // Restore the chunk's context so credit-hook work (destage pump, shadow
+  // push) nests under the chunk whose persistence triggered it.
+  obs::ScopedContext span_scope(spans_, span);
   uint64_t ring_at = stream_offset % config_.ring_bytes;
   size_t first = static_cast<size_t>(
       std::min<uint64_t>(data.size(), config_.ring_bytes - ring_at));
@@ -123,6 +146,7 @@ void CmbModule::Persist(uint64_t stream_offset, std::vector<uint8_t> data) {
   highest_received_ =
       std::max(highest_received_, stream_offset + data.size());
   if (m_persisted_bytes_) m_persisted_bytes_->Add(data.size());
+  if (spans_) spans_->EndSpan(span);
   AdvanceCredit();
 }
 
@@ -171,7 +195,7 @@ void CmbModule::DrainStagingForPowerLoss() {
     Staged chunk = std::move(staging_.front());
     staging_.pop_front();
     staging_bytes_ -= chunk.data.size();
-    Persist(chunk.stream_offset, std::move(chunk.data));
+    Persist(chunk.stream_offset, std::move(chunk.data), chunk.span);
   }
   if (m_staging_occupancy_) m_staging_occupancy_->Set(0);
 }

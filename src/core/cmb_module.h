@@ -9,6 +9,7 @@
 
 #include "core/config.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/bandwidth_server.h"
 #include "sim/interval_set.h"
 #include "sim/simulator.h"
@@ -145,14 +146,22 @@ class CmbModule {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach span tracing (nullptr detaches). Each arriving chunk opens a
+  /// cmb.stage span (arrival → persisted in backing) under the ambient
+  /// request context; the chunk's context is restored around Persist() so
+  /// credit-hook work nests under the chunk that caused it.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
  private:
   /// Infer the stream offset a ring-window write addresses. The writer may
   /// run up to one staging window ahead of the credit, so the unique
   /// candidate in [credit, credit + ring) is correct for conforming hosts.
   uint64_t InferStreamOffset(uint64_t ring_offset) const;
 
-  /// Move one staged chunk into backing memory (persist point).
-  void Persist(uint64_t stream_offset, std::vector<uint8_t> data);
+  /// Move one staged chunk into backing memory (persist point). `span` is
+  /// the chunk's cmb.stage span, closed once the bytes are persistent.
+  void Persist(uint64_t stream_offset, std::vector<uint8_t> data,
+               obs::SpanContext span);
 
   void AdvanceCredit();
 
@@ -172,6 +181,7 @@ class CmbModule {
   struct Staged {
     uint64_t stream_offset;
     std::vector<uint8_t> data;
+    obs::SpanContext span;
   };
   std::deque<Staged> staging_;  ///< arrived, persist event pending
   uint64_t drain_epoch_ = 0;    ///< invalidates stale persist events
@@ -183,6 +193,8 @@ class CmbModule {
   bool test_only_early_credit_ = false;
   fault::FaultInjector* injector_ = nullptr;
   std::string site_prefix_;
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
 
   // Observability (null until SetMetrics; hot paths test one pointer).
   obs::Counter* m_append_bytes_ = nullptr;

@@ -54,6 +54,12 @@ void DestageModule::SetFaultInjector(fault::FaultInjector* injector,
   site_prefix_ = std::move(site_prefix);
 }
 
+void DestageModule::SetSpans(obs::SpanRecorder* spans,
+                             const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
 void DestageModule::Pump() {
   if (frozen_) return;
   while (inflight_ < config_.max_inflight) {
@@ -136,19 +142,34 @@ void DestageModule::EmitPage(uint32_t len) {
         std::min(credit_seen_, barrier_) - destage_cursor_));
   }
   sim::SimTime issued_at = sim_->Now();
-  IssuePage(lba, std::move(page), begin, end, len, issued_at, /*attempt=*/0);
+  // Open the page's span: emit → durable, covering the stream extent. The
+  // ambient parent is the chunk whose persistence pumped us; timer-cut
+  // partial pages run with no ambient context and become orphans that the
+  // analyzer re-attaches by offset range.
+  obs::SpanContext page_span;
+  if (spans_) {
+    page_span = spans_->StartSpan(obs::Stage::kDestagePage, span_node_,
+                                  spans_->current());
+    spans_->SetRange(page_span, begin, end);
+  }
+  IssuePage(lba, std::move(page), begin, end, len, issued_at, /*attempt=*/0,
+            page_span);
 }
 
 void DestageModule::IssuePage(uint64_t lba, std::vector<uint8_t> page,
                               uint64_t begin, uint64_t end, uint32_t len,
-                              sim::SimTime issued_at, uint32_t attempt) {
+                              sim::SimTime issued_at, uint32_t attempt,
+                              obs::SpanContext span) {
   // The FTL consumes its argument; keep the original for a potential
   // re-issue after a failed program.
   std::vector<uint8_t> copy = page;
+  // Make the page span ambient so the FTL's flash.program span (and any
+  // re-issue after backoff) nests under it.
+  obs::ScopedContext span_scope(spans_, span);
   ftl_->WriteDirect(
       ftl::IoClass::kDestage, lba, std::move(copy),
       [this, lba, page = std::move(page), begin, end, len, issued_at,
-       attempt](Status status) mutable {
+       attempt, span](Status status) mutable {
         if (!status.ok()) {
           if (m_write_failures_) m_write_failures_->Add();
           if (attempt < config_.max_write_retries) {
@@ -159,7 +180,8 @@ void DestageModule::IssuePage(uint64_t lba, std::vector<uint8_t> page,
             if (m_write_retries_) m_write_retries_->Add();
             sim::SimTime backoff = config_.retry_backoff << attempt;
             sim_->Schedule(backoff, [this, lba, page = std::move(page), begin,
-                                     end, len, issued_at, attempt]() mutable {
+                                     end, len, issued_at, attempt,
+                                     span]() mutable {
               if (halted_) {
                 // Hard crash while backing off: the device is gone; the
                 // write never happens.
@@ -168,12 +190,13 @@ void DestageModule::IssuePage(uint64_t lba, std::vector<uint8_t> page,
                 return;
               }
               IssuePage(lba, std::move(page), begin, end, len, issued_at,
-                        attempt + 1);
+                        attempt + 1, span);
             });
             return;
           }
           --inflight_;
           if (m_inflight_) m_inflight_->Set(inflight_);
+          if (spans_) spans_->EndSpan(span);
           // FTL bad-block retries and our own re-issues are exhausted;
           // the extent is lost. Keep the counter honest: destaged_ will
           // simply never cross the hole.
@@ -205,6 +228,7 @@ void DestageModule::IssuePage(uint64_t lba, std::vector<uint8_t> page,
             m_filler_bytes_->Add(Capacity() - len);
           }
         }
+        if (spans_) spans_->EndSpan(span);
         if (durable_observer_) durable_observer_(begin, end);
         completed_.Insert(begin, end);
         uint64_t new_destaged = completed_.ContiguousEnd(destaged_);

@@ -84,6 +84,12 @@ class DestageModule {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach span tracing (nullptr detaches). Each emitted page opens a
+  /// destage.page span (emit → durable, spanning retries) covering its
+  /// stream extent; pages cut by the latency timer have no ambient request
+  /// context and are recorded as orphans joined by offset range.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
   /// Attach a fault injector (nullptr detaches). Crash sites:
   /// "destage.emit_page" (before a page is built/issued) and
   /// "destage.page_complete" (page durable in flash, progress accounting
@@ -136,7 +142,7 @@ class DestageModule {
   /// must land exactly where the failed attempt would have.
   void IssuePage(uint64_t lba, std::vector<uint8_t> page, uint64_t begin,
                  uint64_t end, uint32_t len, sim::SimTime issued_at,
-                 uint32_t attempt);
+                 uint32_t attempt, obs::SpanContext span);
 
   void ArmTimer();
 
@@ -158,6 +164,8 @@ class DestageModule {
   sim::SimTime oldest_pending_since_ = 0;
   fault::FaultInjector* injector_ = nullptr;
   std::string site_prefix_;
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
   EmitObserver emit_observer_;
   DurableObserver durable_observer_;
   DestagedObserver destaged_observer_;

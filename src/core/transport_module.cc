@@ -15,6 +15,7 @@ TransportModule::TransportModule(sim::Simulator* sim,
 
 void TransportModule::SetRole(Role role) {
   role_ = role;
+  wait_spans_.clear();  // abandoned opens are skipped by the analyzer
   ++timer_generation_;  // cancel any running secondary timer
   ++rt_generation_;     // and any pending retransmit timer
   rt_armed_ = false;
@@ -126,6 +127,13 @@ void TransportModule::SetMetrics(obs::MetricsRegistry* registry,
   m_degraded_ = registry->GetGauge(prefix + "transport.degraded");
 }
 
+void TransportModule::SetSpans(obs::SpanRecorder* spans,
+                               const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+  wait_spans_.clear();
+}
+
 uint64_t TransportModule::MinShadow() const {
   uint64_t min_shadow = ~0ull;
   for (uint32_t slot : active_slots_) {
@@ -159,6 +167,17 @@ void TransportModule::OnCmbArrival(uint64_t stream_offset,
                                    const uint8_t* data, size_t len) {
   if (role_ != Role::kPrimary || active_slots_.empty()) return;
   XSSD_CHECK(ring_bytes_ > 0);
+  // Replication wait: arrival until every peer's shadow counter covers
+  // these bytes (closed in OnShadowWrite). Ambient for the mirror fan-out
+  // below so the NTB link spans nest under it.
+  obs::SpanContext wait_ctx;
+  if (spans_) {
+    wait_ctx = spans_->StartSpan(obs::Stage::kReplicationWait, span_node_,
+                                 spans_->current());
+    spans_->SetRange(wait_ctx, stream_offset, stream_offset + len);
+    wait_spans_.push_back(WaitSpan{stream_offset + len, wait_ctx});
+  }
+  obs::ScopedContext wait_scope(spans_, wait_ctx);
   // One mirror flow per secondary (no multicast — §4.2), each an
   // independent posted-write stream into the peer's ring window at the
   // same ring offset the local write used (rings are sized identically
@@ -239,6 +258,14 @@ void TransportModule::OnShadowWrite(uint32_t index, uint64_t value) {
       XSSD_LOG(kInfo) << "transport: peers caught up, leaving degraded mode";
     }
     UpdateLagGauge();
+    if (spans_ && role_ == Role::kPrimary && !active_slots_.empty()) {
+      uint64_t covered = MinShadow();
+      while (!wait_spans_.empty() &&
+             wait_spans_.front().end_offset <= covered) {
+        spans_->EndSpan(wait_spans_.front().ctx);
+        wait_spans_.pop_front();
+      }
+    }
     if (shadow_hook_) shadow_hook_(index, value);
   }
 }

@@ -2,12 +2,14 @@
 #define XSSD_CORE_TRANSPORT_MODULE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
 #include "core/config.h"
 #include "core/registers.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
 
@@ -158,6 +160,11 @@ class TransportModule {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach span tracing (nullptr detaches). Each mirrored chunk opens a
+  /// replication.wait span (arrival → every shadow counter covers the
+  /// bytes); NTB link spans nest under it via the ambient context.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
  private:
   void UpdateTick();
   void UpdateLagGauge();
@@ -217,6 +224,17 @@ class TransportModule {
   uint64_t counter_updates_sent_ = 0;
   ShadowHook shadow_hook_;
   RingReader ring_reader_;
+
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
+  /// Open replication.wait spans in stream order; the front is closed once
+  /// MinShadow() reaches its end offset. Dropped (left open, skipped by
+  /// the analyzer) on role changes.
+  struct WaitSpan {
+    uint64_t end_offset;
+    obs::SpanContext ctx;
+  };
+  std::deque<WaitSpan> wait_spans_;
 
   // Retransmit / degraded-mode state (primary only).
   bool rt_armed_ = false;

@@ -61,6 +61,16 @@ void VillarsDevice::EnableMetrics(obs::MetricsRegistry* registry,
   transport_->SetMetrics(registry, prefix);
 }
 
+void VillarsDevice::EnableSpans(obs::SpanRecorder* spans,
+                                const std::string& node_tag) {
+  spans_ = spans;
+  span_node_tag_ = node_tag;
+  cmb_->SetSpans(spans, node_tag);
+  destage_->SetSpans(spans, node_tag);
+  transport_->SetSpans(spans, node_tag);
+  ftl_->SetSpans(spans, node_tag);
+}
+
 void VillarsDevice::ArmFaults(fault::FaultInjector* injector,
                               bool install_crash_handler) {
   injector_ = injector;
@@ -312,6 +322,9 @@ void VillarsDevice::TruncateLog(uint64_t offset) {
     if (injector_ != nullptr) {
       destage_->SetFaultInjector(injector_, name_ + "/");
     }
+    if (spans_ != nullptr) {
+      destage_->SetSpans(spans_, span_node_tag_);
+    }
     cmb_->set_destaged_floor(0);
     WireHooks();
   }
@@ -332,6 +345,9 @@ void VillarsDevice::Reboot() {
   }
   if (injector_ != nullptr) {
     destage_->SetFaultInjector(injector_, name_ + "/");
+  }
+  if (spans_ != nullptr) {
+    destage_->SetSpans(spans_, span_node_tag_);
   }
   // Advance the destage ring cursor past the previous epoch's pages so new
   // destages do not immediately overwrite recovery data. Recovery tooling

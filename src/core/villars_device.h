@@ -105,6 +105,11 @@ class VillarsDevice : public pcie::MmioDevice {
   void EnableMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix = "");
 
+  /// Attach span tracing to every component under node tag `node_tag`
+  /// (nullptr detaches). The recorder is retained so the destage module
+  /// recreated by Reboot()/TruncateLog() is re-instrumented.
+  void EnableSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
   /// Attach a fault injector to every component of this device (nullptr
   /// detaches). Crash sites are namespaced `name() + "/"` (a plan site
   /// "destage.emit_page" matches any device; "pri/destage.emit_page" only
@@ -145,6 +150,10 @@ class VillarsDevice : public pcie::MmioDevice {
   // Observability (set by EnableMetrics; survives Reboot()).
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   std::string metrics_prefix_;
+
+  // Span tracing (set by EnableSpans; survives Reboot()).
+  obs::SpanRecorder* spans_ = nullptr;
+  std::string span_node_tag_;
 
   // Fault injection (set by ArmFaults; survives Reboot()).
   fault::FaultInjector* injector_ = nullptr;

@@ -42,6 +42,11 @@ void Ftl::SetMetrics(obs::MetricsRegistry* registry,
   UpdateGauges();
 }
 
+void Ftl::SetSpans(obs::SpanRecorder* spans, const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
 void Ftl::UpdateGauges() {
   if (!m_dirty_pages_) return;
   m_dirty_pages_->Set(static_cast<double>(dirty_count_));
@@ -137,6 +142,18 @@ void Ftl::WriteDirect(IoClass io_class, uint64_t lpn,
     lru_.erase(it->second.lru_pos);
     buffer_.erase(it);
     UpdateGauges();
+  }
+  if (spans_) {
+    // Issue → programmed, including scheduler queueing and bad-block
+    // retries. GC's internal WriteDirect calls have no ambient request
+    // context and record never-joined orphans.
+    obs::SpanContext span = spans_->StartSpan(obs::Stage::kFlashProgram,
+                                              span_node_, spans_->current());
+    obs::SpanRecorder* spans = spans_;
+    done = [spans, span, done = std::move(done)](Status status) {
+      spans->EndSpan(span);
+      done(status);
+    };
   }
   ProgramPage(io_class, StreamFor(io_class), lpn, std::move(data),
               std::move(done));

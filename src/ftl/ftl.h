@@ -14,6 +14,7 @@
 #include "ftl/mapping.h"
 #include "ftl/scheduler.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/bandwidth_server.h"
 
 namespace xssd::ftl {
@@ -112,6 +113,11 @@ class Ftl {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach span tracing (nullptr detaches). Each direct write opens a
+  /// flash.program span (issue → programmed, covering scheduler queueing
+  /// and bad-block retries) under the ambient context.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
  private:
   struct BufferSlot {
     std::vector<uint8_t> data;
@@ -177,6 +183,8 @@ class Ftl {
 
   bool gc_running_ = false;
   FtlStats stats_;
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
 
   // Observability (null until SetMetrics).
   obs::Counter* m_host_writes_ = nullptr;

@@ -52,6 +52,15 @@ void StorageNode::EnableMetrics(obs::MetricsRegistry* registry,
   ntb_.SetMetrics(registry, prefix);
 }
 
+void StorageNode::EnableSpans(obs::SpanRecorder* spans,
+                              const std::string& node_tag) {
+  device_.EnableSpans(spans, node_tag);
+  fabric_.SetSpans(spans);
+  ntb_.SetSpans(spans, node_tag);
+  driver_.SetSpans(spans, node_tag);
+  if (client_) client_->SetSpans(spans, node_tag);
+}
+
 void StorageNode::ArmFaults(fault::FaultInjector* injector,
                             bool install_crash_handler) {
   device_.ArmFaults(injector, install_crash_handler);

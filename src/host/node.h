@@ -73,6 +73,11 @@ class StorageNode {
   void EnableMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix = "");
 
+  /// Attach span tracing to every component of this node — client, driver,
+  /// device, fabric relay, NTB adapter — under node tag `node_tag`
+  /// (nullptr detaches).
+  void EnableSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
   /// Attach a fault injector to this node's device, fabric, and NTB
   /// adapter (nullptr detaches). Forwards to
   /// core::VillarsDevice::ArmFaults for the device-internal hooks.

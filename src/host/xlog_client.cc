@@ -73,15 +73,34 @@ Status XLogClient::Reconnect() {
   return Status::OK();
 }
 
+void XLogClient::SetSpans(obs::SpanRecorder* spans,
+                          const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
 void XLogClient::ReadRegister(uint64_t reg,
                               std::function<void(uint64_t)> done) {
   ++credit_polls_;
-  sim_->Schedule(options_.poll_cpu_overhead, [this, reg,
+  // The poll span charges the CPU overhead plus the MMIO read round trip to
+  // the host; the caller's ambient context is restored around `done` so
+  // continuations (chunk stores, NVMe reads) keep their root request.
+  obs::SpanContext caller_ctx;
+  obs::SpanContext poll_ctx;
+  if (spans_) {
+    caller_ctx = spans_->current();
+    poll_ctx = spans_->StartSpan(obs::Stage::kHostPoll, span_node_,
+                                 caller_ctx);
+  }
+  sim_->Schedule(options_.poll_cpu_overhead, [this, reg, caller_ctx, poll_ctx,
                                               done = std::move(done)]() {
     fabric_->HostRead(cmb_base_ + reg, 8,
-                      [done = std::move(done)](std::vector<uint8_t> bytes) {
+                      [this, caller_ctx, poll_ctx, done = std::move(done)](
+                          std::vector<uint8_t> bytes) {
+                        if (spans_) spans_->EndSpan(poll_ctx);
                         uint64_t value = 0;
                         std::memcpy(&value, bytes.data(), 8);
+                        obs::ScopedContext scope(spans_, caller_ctx);
                         done(value);
                       });
   });
@@ -108,12 +127,22 @@ void XLogClient::Append(const uint8_t* data, size_t len, DoneCallback done) {
     done(Status::OK());
     return;
   }
+  obs::SpanContext root;
+  if (spans_) {
+    root = spans_->StartTrace("append", span_node_, written_, written_ + len);
+    done = [this, root, done = std::move(done)](Status status) mutable {
+      spans_->EndSpan(root);
+      done(status);
+    };
+  }
   auto copy = std::make_shared<std::vector<uint8_t>>(data, data + len);
-  AppendLoop(std::move(copy), 0, std::move(done));
+  AppendLoop(std::move(copy), 0, root, std::move(done));
 }
 
 void XLogClient::AppendLoop(std::shared_ptr<std::vector<uint8_t>> data,
-                            size_t offset, DoneCallback done) {
+                            size_t offset, obs::SpanContext ctx,
+                            DoneCallback done) {
+  obs::ScopedContext scope(spans_, ctx);
   size_t remaining = data->size() - offset;
   if (remaining == 0) {
     done(Status::OK());
@@ -137,14 +166,14 @@ void XLogClient::AppendLoop(std::shared_ptr<std::vector<uint8_t>> data,
     // progress register instead.
     bool ring_bound = ring_room < window;
     uint64_t reg = ring_bound ? core::kRegDestaged : core::kRegCredit;
-    ReadRegister(reg, [this, ring_bound, data = std::move(data), offset,
+    ReadRegister(reg, [this, ring_bound, data = std::move(data), offset, ctx,
                        done = std::move(done)](uint64_t value) mutable {
       if (ring_bound) {
         destaged_cache_ = std::max(destaged_cache_, value);
       } else {
         credit_cache_ = std::max(credit_cache_, value);
       }
-      AppendLoop(std::move(data), offset, std::move(done));
+      AppendLoop(std::move(data), offset, ctx, std::move(done));
     });
     return;
   }
@@ -153,17 +182,28 @@ void XLogClient::AppendLoop(std::shared_ptr<std::vector<uint8_t>> data,
       std::min<uint64_t>(remaining, avail));
   const uint8_t* src = data->data() + offset;  // before the lambda moves data
   StoreChunk(src, chunk,
-             [this, data = std::move(data), offset = offset + chunk,
+             [this, data = std::move(data), offset = offset + chunk, ctx,
               done = std::move(done)]() mutable {
-               AppendLoop(std::move(data), offset, std::move(done));
+               AppendLoop(std::move(data), offset, ctx, std::move(done));
              });
 }
 
 void XLogClient::Sync(DoneCallback done) {
-  SyncLoop(std::move(done), sim_->Now());
+  obs::SpanContext root;
+  if (spans_) {
+    // The fsync covers the unacknowledged window at call time.
+    root = spans_->StartTrace("fsync", span_node_, credit_cache_, written_);
+    done = [this, root, done = std::move(done)](Status status) mutable {
+      spans_->EndSpan(root);
+      done(status);
+    };
+  }
+  SyncLoop(root, std::move(done), sim_->Now());
 }
 
-void XLogClient::SyncLoop(DoneCallback done, sim::SimTime last_progress) {
+void XLogClient::SyncLoop(obs::SpanContext ctx, DoneCallback done,
+                          sim::SimTime last_progress) {
+  obs::ScopedContext scope(spans_, ctx);
   if (credit_cache_ >= written_) {
     done(Status::OK());
     return;
@@ -174,7 +214,7 @@ void XLogClient::SyncLoop(DoneCallback done, sim::SimTime last_progress) {
     // a degraded or stalled primary will still make (local) progress, but
     // a halted one never will, and the caller must fail over/Reconnect().
     ReadRegister(core::kRegTransportStatus,
-                 [this, done = std::move(done),
+                 [this, ctx, done = std::move(done),
                   last_progress](uint64_t word) mutable {
                    if (word & core::StatusBits::kHalted) {
                      ++sync_failures_;
@@ -191,17 +231,17 @@ void XLogClient::SyncLoop(DoneCallback done, sim::SimTime last_progress) {
                    }
                    // Alive (possibly degraded): grant another stall window
                    // of credit polling before checking again.
-                   SyncLoop(std::move(done), sim_->Now());
+                   SyncLoop(ctx, std::move(done), sim_->Now());
                  });
     return;
   }
-  ReadRegister(core::kRegCredit, [this, done = std::move(done),
+  ReadRegister(core::kRegCredit, [this, ctx, done = std::move(done),
                                   last_progress](uint64_t credit) mutable {
     if (credit > credit_cache_) {
       credit_cache_ = credit;
       last_progress = sim_->Now();
     }
-    SyncLoop(std::move(done), last_progress);
+    SyncLoop(ctx, std::move(done), last_progress);
   });
 }
 
@@ -218,6 +258,16 @@ void XLogClient::AppendDurable(const uint8_t* data, size_t len,
 
 void XLogClient::ReadTail(nvme::Driver* driver, size_t len,
                           ReadCallback done) {
+  obs::SpanContext root;
+  if (spans_) {
+    root = spans_->StartTrace("read", span_node_, read_cursor_,
+                              read_cursor_ + len);
+    done = [this, root, done = std::move(done)](
+               Status status, std::vector<uint8_t> data) mutable {
+      spans_->EndSpan(root);
+      done(status, std::move(data));
+    };
+  }
   auto acc = std::make_shared<std::vector<uint8_t>>();
   // Consume bytes left over from the previous call's last page first.
   if (!tail_leftover_.empty()) {
@@ -226,12 +276,13 @@ void XLogClient::ReadTail(nvme::Driver* driver, size_t len,
     tail_leftover_.erase(tail_leftover_.begin(),
                          tail_leftover_.begin() + take);
   }
-  ReadTailLoop(driver, len, std::move(acc), std::move(done));
+  ReadTailLoop(driver, len, std::move(acc), root, std::move(done));
 }
 
 void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
                               std::shared_ptr<std::vector<uint8_t>> acc,
-                              ReadCallback done) {
+                              obs::SpanContext ctx, ReadCallback done) {
+  obs::ScopedContext scope(spans_, ctx);
   if (acc->size() >= len) {
     // Stash any surplus from the last parsed page for the next call.
     tail_leftover_.insert(tail_leftover_.end(), acc->begin() + len,
@@ -244,20 +295,20 @@ void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
   // stream order, so any progress past our cursor means page read_seq_ is
   // fully on the conventional side.
   ReadRegister(core::kRegDestaged, [this, driver, len, acc = std::move(acc),
-                                    done = std::move(done)](
+                                    ctx, done = std::move(done)](
                                        uint64_t destaged) mutable {
     destaged_cache_ = std::max(destaged_cache_, destaged);
     if (destaged_cache_ <= read_cursor_) {
       // Nothing new yet — block (poll with a small backoff).
       sim_->Schedule(sim::Us(5), [this, driver, len, acc = std::move(acc),
-                                  done = std::move(done)]() mutable {
-        ReadTailLoop(driver, len, std::move(acc), std::move(done));
+                                  ctx, done = std::move(done)]() mutable {
+        ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done));
       });
       return;
     }
     uint64_t lba =
         destage_start_lba_ + (read_seq_ % destage_lba_count_);
-    driver->Read(lba, 1, [this, driver, len, acc = std::move(acc),
+    driver->Read(lba, 1, [this, driver, len, acc = std::move(acc), ctx,
                           done = std::move(done)](
                              Status status,
                              std::vector<uint8_t> page) mutable {
@@ -270,8 +321,8 @@ void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
       if (!parsed.ok() || parsed->header.sequence != read_seq_) {
         // Page not (re)written yet at this slot; retry shortly.
         sim_->Schedule(sim::Us(5), [this, driver, len, acc = std::move(acc),
-                                    done = std::move(done)]() mutable {
-          ReadTailLoop(driver, len, std::move(acc), std::move(done));
+                                    ctx, done = std::move(done)]() mutable {
+          ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done));
         });
         return;
       }
@@ -287,7 +338,7 @@ void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
         // Fully consumed already (shouldn't normally happen).
       }
       ++read_seq_;
-      ReadTailLoop(driver, len, std::move(acc), std::move(done));
+      ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done));
     });
   });
 }
@@ -317,11 +368,20 @@ void XLogClient::WriteAt(uint64_t stream_offset, const uint8_t* data,
     done(Status::InvalidArgument("write outside an active allocation"));
     return;
   }
+  obs::SpanContext root;
+  if (spans_) {
+    root = spans_->StartTrace("writeat", span_node_, stream_offset,
+                              stream_offset + len);
+  }
+  obs::ScopedContext scope(spans_, root);
   uint64_t ring_offset = stream_offset % ring_bytes_;
   uint64_t base = cmb_base_ + core::kRingWindowOffset;
   size_t first =
       static_cast<size_t>(std::min<uint64_t>(len, ring_bytes_ - ring_offset));
-  auto posted = [done = std::move(done)]() { done(Status::OK()); };
+  auto posted = [this, root, done = std::move(done)]() {
+    if (spans_) spans_->EndSpan(root);
+    done(Status::OK());
+  };
   if (first < len) {
     store_engine_.Store(base + ring_offset, data, first, nullptr);
     store_engine_.Store(base, data + first, len - first, std::move(posted));

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/registers.h"
 #include "nvme/driver.h"
+#include "obs/span.h"
 #include "pcie/fabric.h"
 #include "pcie/store_engine.h"
 #include "sim/simulator.h"
@@ -133,10 +134,17 @@ class XLogClient {
   uint64_t queue_bytes() const { return queue_bytes_; }
   uint64_t ring_bytes() const { return ring_bytes_; }
 
+  /// Attach span tracing (nullptr detaches). Each Append/Sync/ReadTail/
+  /// WriteAt call mints a root request span covering its stream range;
+  /// device-side spans nest under it through the fabric's context relay.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
  private:
   /// One stage of the Append loop: write what the window allows, then poll.
+  /// `ctx` is the root request span, re-established as the ambient context
+  /// at every asynchronous re-entry.
   void AppendLoop(std::shared_ptr<std::vector<uint8_t>> data, size_t offset,
-                  DoneCallback done);
+                  obs::SpanContext ctx, DoneCallback done);
 
   /// Store `len` bytes at stream offset `written_` (handles ring wrap).
   void StoreChunk(const uint8_t* data, size_t len,
@@ -145,10 +153,11 @@ class XLogClient {
   /// Async read of a control register.
   void ReadRegister(uint64_t reg, std::function<void(uint64_t)> done);
 
-  void SyncLoop(DoneCallback done, sim::SimTime last_progress);
+  void SyncLoop(obs::SpanContext ctx, DoneCallback done,
+                sim::SimTime last_progress);
   void ReadTailLoop(nvme::Driver* driver, size_t len,
                     std::shared_ptr<std::vector<uint8_t>> acc,
-                    ReadCallback done);
+                    obs::SpanContext ctx, ReadCallback done);
   void PushBarrier();
 
   sim::Simulator* sim_;
@@ -182,6 +191,9 @@ class XLogClient {
   };
   std::map<uint64_t, Allocation> allocations_;  // offset -> state
   uint64_t alloc_head_ = 0;
+
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
 };
 
 }  // namespace xssd::host

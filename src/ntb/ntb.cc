@@ -27,6 +27,12 @@ void NtbAdapter::SetMetrics(obs::MetricsRegistry* registry,
   m_link_busy_us_ = registry->GetGauge(prefix + "ntb.link_busy_us");
 }
 
+void NtbAdapter::SetSpans(obs::SpanRecorder* spans,
+                          const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
 Status NtbAdapter::CheckOverlap(uint64_t offset, uint64_t size) const {
   for (const Window& w : windows_) {
     bool disjoint = offset + size <= w.offset || w.offset + w.size <= offset;
@@ -132,10 +138,21 @@ void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
   std::vector<uint8_t> copy(data, data + len);
   sim::SimTime cable_done = link_.Acquire(wire);
   if (m_link_busy_us_) m_link_busy_us_->Set(sim::ToUs(link_.busy_time()));
+  sim::SimTime delivered_at = cable_done + config_.hop_latency + stall_delay;
+  // The link span covers cable serialisation plus the adapter hop; its end
+  // is known now, so stamp it up front. The captured context is restored on
+  // delivery so remote-side spans nest under this transfer.
+  obs::SpanContext link_ctx;
+  if (spans_) {
+    link_ctx = spans_->StartSpan(obs::Stage::kNtbLink, span_node_,
+                                 spans_->current());
+    spans_->EndSpanAt(link_ctx, delivered_at);
+  }
   sim_->ScheduleAt(
-      cable_done + config_.hop_latency + stall_delay,
-      [members = window->members, window_offset, copy = std::move(copy),
-       chunk = config_.forward_chunk]() {
+      delivered_at,
+      [this, link_ctx, members = window->members, window_offset,
+       copy = std::move(copy), chunk = config_.forward_chunk]() {
+        obs::ScopedContext scope(spans_, link_ctx);
         for (const MulticastTarget& member : members) {
           // Address translation is the only transformation NTB performs
           // (§2.3); inject into each member fabric as peer-to-peer traffic.

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "pcie/fabric.h"
 #include "sim/bandwidth_server.h"
 
@@ -96,6 +97,11 @@ class NtbAdapter : public pcie::MmioDevice {
   void SetMetrics(obs::MetricsRegistry* registry,
                   const std::string& prefix = "");
 
+  /// Attach span tracing (nullptr detaches). Each forwarded write opens an
+  /// ntb.link span (cable acquisition → delivery into the remote fabric)
+  /// under the ambient context, and relays that context to the remote side.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
   /// Attach a fault injector (nullptr detaches). Link-down windows silently
   /// drop forwarded writes (the sender's posted write cannot tell); stall
   /// windows add the injected delay on top of the hop latency. Also governs
@@ -139,6 +145,8 @@ class NtbAdapter : public pcie::MmioDevice {
   uint64_t scratchpad_dropped_ = 0;
   fault::FaultInjector* injector_ = nullptr;
   fault::FaultInjector* scratchpad_injector_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
 
   uint64_t forwarded_wire_bytes_ = 0;
   uint64_t forwarded_payload_bytes_ = 0;

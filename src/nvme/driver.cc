@@ -14,6 +14,11 @@ Driver::Driver(sim::Simulator* sim, pcie::PcieFabric* fabric,
       bar0_base_(bar0_base),
       options_(options) {}
 
+void Driver::SetSpans(obs::SpanRecorder* spans, const std::string& node_tag) {
+  spans_ = spans;
+  span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
 uint64_t Driver::AllocHostBuffer(uint64_t bytes) {
   // 64-byte align every allocation.
   bump_ = (bump_ + 63) & ~63ull;
@@ -137,10 +142,20 @@ void Driver::Read(uint64_t lba, uint32_t blocks, ReadCallback done) {
   cmd.set_slba(lba);
   cmd.set_nlb(blocks);
 
+  // Span covers the whole command round trip: submission syscall, doorbell,
+  // device work, interrupt, completion processing.
+  obs::SpanContext read_span;
+  if (spans_) {
+    read_span = spans_->StartSpan(obs::Stage::kNvmeRead, span_node_,
+                                  spans_->current());
+  }
+
   Pending pending;
   pending.read_buffer = buf;
   pending.read_bytes = static_cast<uint32_t>(bytes);
-  pending.done = [this, buf, bytes, done = std::move(done)](Completion cpl) {
+  pending.done = [this, buf, bytes, read_span,
+                  done = std::move(done)](Completion cpl) {
+    if (spans_) spans_->EndSpan(read_span);
     if (!cpl.ok()) {
       ReleaseBuffer(buf, bytes);
       done(Status::IoError("NVMe read failed"), {});

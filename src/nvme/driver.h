@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "nvme/command.h"
 #include "nvme/controller.h"
+#include "obs/span.h"
 #include "pcie/fabric.h"
 
 namespace xssd::nvme {
@@ -73,6 +74,11 @@ class Driver {
     return static_cast<uint32_t>(outstanding_.size());
   }
 
+  /// Attach span tracing (nullptr detaches). Each I/O-queue read opens an
+  /// nvme.read span (submission → completion delivered) under the ambient
+  /// context.
+  void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
+
  private:
   struct Pending {
     std::function<void(Completion)> done;
@@ -104,6 +110,9 @@ class Driver {
 
   std::unordered_map<uint32_t, Pending> outstanding_;  // (qid<<16)|cid
   std::unordered_map<uint64_t, std::vector<uint64_t>> buffer_pool_;
+
+  obs::SpanRecorder* spans_ = nullptr;
+  uint16_t span_node_ = 0;
 };
 
 }  // namespace xssd::nvme

@@ -27,6 +27,10 @@ ChromeTraceWriter::ChromeTraceWriter(ChromeTraceOptions options)
 uint32_t ChromeTraceWriter::BeginProcess(const std::string& name) {
   process_names_.push_back(name);
   pid_ = static_cast<uint32_t>(process_names_.size() - 1);
+  // A fresh simulator reuses seq numbers from 0; drop any arrows still
+  // waiting on the previous run so they cannot bind to the new run's
+  // events (flow ids themselves stay writer-global and unique).
+  pending_flows_.clear();
   return pid_;
 }
 
@@ -42,11 +46,19 @@ void ChromeTraceWriter::OnEventScheduled(sim::SimTime now, sim::SimTime when,
                                          uint64_t seq) {
   (void)when;
   if (!options_.emit_flow) return;
-  Push(Event{'s', pid_, now, seq, "dispatch"});
+  uint64_t flow_id = next_flow_id_++;
+  pending_flows_[seq] = flow_id;
+  Push(Event{'s', pid_, now, flow_id, "dispatch"});
 }
 
 void ChromeTraceWriter::OnEventBegin(sim::SimTime when, uint64_t seq) {
-  if (options_.emit_flow) Push(Event{'f', pid_, when, seq, "dispatch"});
+  if (options_.emit_flow) {
+    auto it = pending_flows_.find(seq);
+    if (it != pending_flows_.end()) {
+      Push(Event{'f', pid_, when, it->second, "dispatch"});
+      pending_flows_.erase(it);
+    }
+  }
   if (options_.emit_fired) Push(Event{'X', pid_, when, seq, "event"});
 }
 
@@ -68,6 +80,20 @@ void ChromeTraceWriter::OnCounterSample(const char* name, sim::SimTime when,
   Push(event);
 }
 
+void ChromeTraceWriter::EmitSpan(const std::string& name, sim::SimTime start,
+                                 sim::SimTime end, uint64_t span_id) {
+  Event complete{'X', pid_, start, span_id, name};
+  complete.cat = "span";
+  complete.dur = end - start;
+  Push(complete);
+  Event flow_start{'s', pid_, start, span_id, name};
+  flow_start.cat = "span";
+  Push(flow_start);
+  Event flow_end{'f', pid_, end, span_id, name};
+  flow_end.cat = "span";
+  Push(flow_end);
+}
+
 void ChromeTraceWriter::Write(std::ostream& out) const {
   out << "{\"traceEvents\": [";
   bool first = true;
@@ -84,7 +110,12 @@ void ChromeTraceWriter::Write(std::ostream& out) const {
         << ", \"tid\": 0, \"ts\": " << TraceTs(event.ts);
     switch (event.phase) {
       case 'X':
-        out << ", \"dur\": 0, \"args\": {\"seq\": " << event.id << "}";
+        if (event.cat == std::string("span")) {
+          out << ", \"cat\": \"span\", \"dur\": " << TraceTs(event.dur)
+              << ", \"args\": {\"span\": " << event.id << "}";
+        } else {
+          out << ", \"dur\": 0, \"args\": {\"seq\": " << event.id << "}";
+        }
         break;
       case 'i':
         out << ", \"s\": \"p\"";
@@ -94,7 +125,7 @@ void ChromeTraceWriter::Write(std::ostream& out) const {
         break;
       case 's':
       case 'f':
-        out << ", \"cat\": \"sim\", \"id\": " << event.id;
+        out << ", \"cat\": \"" << event.cat << "\", \"id\": " << event.id;
         if (event.phase == 'f') out << ", \"bp\": \"e\"";
         break;
       default:

@@ -2,6 +2,7 @@
 #define XSSD_OBS_TRACE_H_
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -51,7 +52,9 @@ struct ChromeTraceOptions {
   /// Emit one zero-duration complete event per fired simulator event.
   bool emit_fired = true;
   /// Also emit flow arrows from schedule site to fire site (doubles the
-  /// event count; off by default).
+  /// event count; off by default). Each schedule→fire pair gets a fresh
+  /// writer-global flow id, so arrows stay distinct across process groups
+  /// and across NTB hops that reuse simulator `seq` numbers.
   bool emit_flow = false;
 };
 
@@ -80,6 +83,13 @@ class ChromeTraceWriter : public TraceSink {
   void OnCounterSample(const char* name, sim::SimTime when,
                        double value) override;
 
+  /// Emit one completed request-lifecycle span as a Chrome complete event
+  /// plus a flow arrow ('s' at start, 'f' at end) keyed by the span id.
+  /// Span flows use cat "span", a separate binding domain from the
+  /// "sim"-cat dispatch flows, so the two id spaces cannot collide.
+  void EmitSpan(const std::string& name, sim::SimTime start, sim::SimTime end,
+                uint64_t span_id);
+
   size_t event_count() const { return events_.size(); }
   uint64_t dropped() const { return dropped_; }
 
@@ -93,9 +103,11 @@ class ChromeTraceWriter : public TraceSink {
     char phase;         // 'X', 'i', 'C', 's', 'f'
     uint32_t pid;
     sim::SimTime ts;
-    uint64_t id;        // flow id (phase 's'/'f')
+    uint64_t id;        // flow id (phase 's'/'f'), span id (cat "span")
     std::string name;
     double value = 0;   // counter sample (phase 'C')
+    const char* cat = "sim";  // flow binding domain ("sim" or "span")
+    sim::SimTime dur = 0;     // complete-event duration (span 'X' only)
   };
 
   /// Append if the buffer cap allows; otherwise count a drop.
@@ -106,6 +118,12 @@ class ChromeTraceWriter : public TraceSink {
   std::vector<std::string> process_names_;
   uint32_t pid_ = 0;
   uint64_t dropped_ = 0;
+  /// Dispatch-flow bookkeeping: ids are allocated writer-globally at
+  /// schedule time and looked up (then retired) at fire time, so a `seq`
+  /// reused by a different process group can never splice two unrelated
+  /// arrows together.
+  uint64_t next_flow_id_ = 1;
+  std::map<uint64_t, uint64_t> pending_flows_;  // seq -> flow id
 };
 
 }  // namespace xssd::obs

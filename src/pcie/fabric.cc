@@ -94,8 +94,14 @@ void PcieFabric::RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
   MmioDevice* device = region->device;
   sim::SimTime done_at = server.Acquire(wire_bytes);
   if (landed > 0) {
+    // Carry the ambient request context across the asynchronous delivery so
+    // spans opened by the device keep their parent (pure bookkeeping; the
+    // schedule is identical with tracing off).
+    obs::SpanContext ctx =
+        spans_ ? spans_->current() : obs::SpanContext{};
     sim_->ScheduleAt(done_at + config_.propagation + extra_delay,
-                     [device, offset, copy = std::move(copy)]() {
+                     [this, ctx, device, offset, copy = std::move(copy)]() {
+                       obs::ScopedContext scope(spans_, ctx);
                        device->OnMmioWrite(offset, copy.data(), copy.size());
                      });
   }

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "pcie/tlp.h"
 #include "sim/bandwidth_server.h"
 #include "sim/simulator.h"
@@ -131,6 +132,11 @@ class PcieFabric {
     injector_ = injector;
   }
 
+  /// Attach span tracing (nullptr detaches). The fabric opens no spans of
+  /// its own; it relays the ambient request context across the scheduled
+  /// MMIO delivery so device-side spans keep their parent.
+  void SetSpans(obs::SpanRecorder* spans) { spans_ = spans; }
+
  private:
   struct Region {
     uint64_t base;
@@ -149,6 +155,7 @@ class PcieFabric {
 
   sim::Simulator* sim_;
   fault::FaultInjector* injector_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
   FabricConfig config_;
   std::string name_;
   double link_bytes_per_sec_;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "sim/histogram.h"
 #include "sim/time.h"
 
 namespace xssd::sim {
@@ -15,33 +16,64 @@ namespace xssd::sim {
 /// Stores raw samples (nanoseconds or any unit) and answers min/max/mean and
 /// arbitrary percentiles. Used by every benchmark harness; the candlestick
 /// summaries of Figure 13 come straight out of Percentile().
+///
+/// By default every sample is retained and percentiles are exact. For
+/// multi-million-sample campaigns, EnableBounded(cap) switches the recorder
+/// to a fixed-memory mode: once `cap` samples have been seen, the raw
+/// vector is spilled into a `Log2Histogram` and later samples go straight
+/// to the histogram. Min/max/count/mean stay exact in both modes;
+/// percentiles in bounded mode inherit the histogram's error bound (at most
+/// ~3.2% relative, see Log2Histogram), clamped to the exact [min, max].
 class LatencyRecorder {
  public:
   void Add(double sample) {
-    samples_.push_back(sample);
+    if (count_ == 0) {
+      min_ = max_ = sample;
+    } else {
+      min_ = std::min(min_, sample);
+      max_ = std::max(max_, sample);
+    }
+    sum_ += sample;
+    ++count_;
     ++version_;
+    if (overflowed_) {
+      hist_.Add(sample);
+      return;
+    }
+    samples_.push_back(sample);
+    if (bounded_ && samples_.size() >= sample_cap_) SpillToHistogram();
   }
 
-  size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  /// Switch to bounded-memory mode: at most `sample_cap` raw samples are
+  /// held; beyond that the recorder degrades to log2-bucket percentiles.
+  /// Opt-in only — never enabled implicitly, so existing exact consumers
+  /// are unaffected.
+  void EnableBounded(size_t sample_cap) {
+    bounded_ = true;
+    sample_cap_ = std::max<size_t>(1, sample_cap);
+    if (samples_.size() >= sample_cap_) SpillToHistogram();
+  }
 
-  double Min() const {
-    return empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
-  }
-  double Max() const {
-    return empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
-  }
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// True once the raw samples have been spilled to histogram buckets.
+  bool bounded_overflow() const { return overflowed_; }
+
+  double Min() const { return empty() ? 0 : min_; }
+  double Max() const { return empty() ? 0 : max_; }
 
   double Mean() const {
     if (empty()) return 0;
-    double sum = 0;
-    for (double s : samples_) sum += s;
-    return sum / static_cast<double>(samples_.size());
+    return sum_ / static_cast<double>(count_);
   }
 
-  /// Nearest-rank percentile, p in [0, 100].
+  /// Percentile, p in [0, 100]. Exact (interpolated nearest-rank) while the
+  /// raw samples are held; bucket-interpolated after a bounded-mode spill.
   double Percentile(double p) const {
     if (empty()) return 0;
+    if (overflowed_) {
+      return std::clamp(hist_.Percentile(p), min_, max_);
+    }
     EnsureSorted();
     double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     size_t lo = static_cast<size_t>(rank);
@@ -61,6 +93,12 @@ class LatencyRecorder {
 
   void Clear() {
     samples_.clear();
+    hist_.Clear();
+    overflowed_ = false;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
     ++version_;
   }
 
@@ -77,9 +115,26 @@ class LatencyRecorder {
     }
   }
 
+  void SpillToHistogram() {
+    for (double s : samples_) hist_.Add(s);
+    samples_.clear();
+    samples_.shrink_to_fit();
+    overflowed_ = true;
+    ++version_;
+  }
+
   mutable std::vector<double> samples_;
   uint64_t version_ = 0;
   mutable uint64_t sorted_version_ = 0;
+
+  bool bounded_ = false;
+  bool overflowed_ = false;
+  size_t sample_cap_ = 0;
+  Log2Histogram hist_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 /// \brief Event counter with rate helper.

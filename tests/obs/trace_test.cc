@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 #include "sim/simulator.h"
@@ -112,6 +115,86 @@ TEST(ChromeTraceWriter, CapsBufferAndCountsDrops) {
   std::string text = writer.ToString();
   std::string error;
   EXPECT_TRUE(IsValidJson(text, &error)) << error;
+}
+
+/// Pulls the `"id": N` values of every flow event with the given phase
+/// ('s' or 'f') and category out of a rendered trace document.
+std::vector<uint64_t> FlowIds(const std::string& text, char phase,
+                              const std::string& cat) {
+  std::vector<uint64_t> ids;
+  std::string phase_marker = std::string("\"ph\": \"") + phase + "\"";
+  std::string cat_marker = "\"cat\": \"" + cat + "\"";
+  size_t pos = 0;
+  while ((pos = text.find('\n', pos)) != std::string::npos) {
+    size_t end = text.find('\n', pos + 1);
+    std::string line = text.substr(
+        pos + 1, end == std::string::npos ? std::string::npos : end - pos - 1);
+    pos += 1;
+    if (line.find(phase_marker) == std::string::npos) continue;
+    if (line.find(cat_marker) == std::string::npos) continue;
+    size_t id_at = line.find("\"id\": ");
+    if (id_at == std::string::npos) continue;
+    ids.push_back(std::strtoull(line.c_str() + id_at + 6, nullptr, 10));
+  }
+  return ids;
+}
+
+TEST(ChromeTraceWriter, FlowIdsStayUniqueAcrossProcessGroups) {
+  // Two back-to-back simulator runs share one writer. Each fresh simulator
+  // restarts its event `seq` at 0, so keying arrows by seq would splice
+  // run B's arrows onto run A's events; writer-global flow ids must keep
+  // every schedule→fire pair distinct.
+  ChromeTraceOptions options;
+  options.emit_flow = true;
+  ChromeTraceWriter writer(options);
+  for (const char* run : {"run-a", "run-b"}) {
+    writer.BeginProcess(run);
+    sim::Simulator sim;
+    sim.set_trace_sink(&writer);
+    for (int i = 0; i < 10; ++i) {
+      sim.Schedule(sim::Us(i), [] {});
+    }
+    sim.Run();
+    sim.set_trace_sink(nullptr);
+  }
+
+  std::string text = writer.ToString();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(text, &error)) << error;
+
+  std::vector<uint64_t> starts = FlowIds(text, 's', "sim");
+  std::vector<uint64_t> finishes = FlowIds(text, 'f', "sim");
+  ASSERT_EQ(starts.size(), 20u);
+  ASSERT_EQ(finishes.size(), 20u);
+  std::set<uint64_t> unique_starts(starts.begin(), starts.end());
+  EXPECT_EQ(unique_starts.size(), starts.size());
+  // Every arrow terminates at the start it was minted for.
+  std::set<uint64_t> unique_finishes(finishes.begin(), finishes.end());
+  EXPECT_EQ(unique_finishes, unique_starts);
+}
+
+TEST(ChromeTraceWriter, SpanFlowsUseTheirOwnBindingDomain) {
+  ChromeTraceOptions options;
+  options.emit_flow = true;
+  ChromeTraceWriter writer(options);
+  writer.BeginProcess("spans");
+  sim::Simulator sim;
+  sim.set_trace_sink(&writer);
+  sim.Schedule(sim::Us(1), [] {});
+  sim.Run();
+  sim.set_trace_sink(nullptr);
+  // Span id 1 deliberately collides with the first dispatch flow id; the
+  // "span" category keeps the two arrow id spaces apart.
+  writer.EmitSpan("dev/append", sim::Us(2), sim::Us(9), 1);
+
+  std::string text = writer.ToString();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(text, &error)) << error;
+  EXPECT_EQ(FlowIds(text, 's', "span"), std::vector<uint64_t>{1});
+  EXPECT_EQ(FlowIds(text, 'f', "span"), std::vector<uint64_t>{1});
+  EXPECT_EQ(FlowIds(text, 's', "sim"), std::vector<uint64_t>{1});
+  EXPECT_NE(text.find("\"args\": {\"span\": 1}"), std::string::npos);
+  EXPECT_NE(text.find("\"dev/append\""), std::string::npos);
 }
 
 TEST(ChromeTraceWriter, WriteFileRoundTrips) {

@@ -1,0 +1,109 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace xssd::sim {
+namespace {
+
+TEST(LatencyRecorderBounded, ExactStatsSurviveTheSpill) {
+  LatencyRecorder exact;
+  LatencyRecorder bounded;
+  bounded.EnableBounded(64);
+
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed latencies spanning several octaves, like real destage
+    // stalls behind fast CMB hits.
+    double sample = 1.0 + static_cast<double>(rng.Uniform(1 << 20));
+    exact.Add(sample);
+    bounded.Add(sample);
+  }
+
+  EXPECT_TRUE(bounded.bounded_overflow());
+  EXPECT_EQ(bounded.count(), exact.count());
+  EXPECT_EQ(bounded.Min(), exact.Min());
+  EXPECT_EQ(bounded.Max(), exact.Max());
+  EXPECT_DOUBLE_EQ(bounded.Mean(), exact.Mean());
+}
+
+TEST(LatencyRecorderBounded, PercentilesStayWithinTheDocumentedBound) {
+  LatencyRecorder exact;
+  LatencyRecorder bounded;
+  bounded.EnableBounded(32);
+
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    double sample = 1.0 + static_cast<double>(rng.Uniform(1 << 22));
+    exact.Add(sample);
+    bounded.Add(sample);
+  }
+
+  // Log2Histogram documents ≤ ~3.2% relative error per sample; percentile
+  // interpolation across a dense sample set stays within ~2× that.
+  for (double p : {1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    double want = exact.Percentile(p);
+    double got = bounded.Percentile(p);
+    EXPECT_NEAR(got, want, want * 0.065) << "p" << p;
+  }
+  // And always clamped into the exact range.
+  EXPECT_GE(bounded.Percentile(0), bounded.Min());
+  EXPECT_LE(bounded.Percentile(100), bounded.Max());
+}
+
+TEST(LatencyRecorderBounded, BelowTheCapStaysExact) {
+  LatencyRecorder bounded;
+  bounded.EnableBounded(100);
+  for (int i = 1; i <= 99; ++i) bounded.Add(static_cast<double>(i));
+  EXPECT_FALSE(bounded.bounded_overflow());
+  // Exact interpolated nearest-rank, identical to the unbounded recorder.
+  EXPECT_DOUBLE_EQ(bounded.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(bounded.Percentile(25), 25.5);
+}
+
+TEST(LatencyRecorderBounded, EnablingAfterTheFactSpillsImmediately) {
+  LatencyRecorder recorder;
+  for (int i = 0; i < 1000; ++i) recorder.Add(static_cast<double>(i + 1));
+  recorder.EnableBounded(64);  // already past the cap: spill now
+  EXPECT_TRUE(recorder.bounded_overflow());
+  EXPECT_EQ(recorder.count(), 1000u);
+  EXPECT_EQ(recorder.Min(), 1.0);
+  EXPECT_EQ(recorder.Max(), 1000.0);
+  EXPECT_NEAR(recorder.Percentile(50), 500.0, 500.0 * 0.065);
+}
+
+TEST(LatencyRecorderBounded, ClearResetsTheOverflowState) {
+  LatencyRecorder recorder;
+  recorder.EnableBounded(4);
+  for (int i = 0; i < 10; ++i) recorder.Add(100.0);
+  EXPECT_TRUE(recorder.bounded_overflow());
+  recorder.Clear();
+  EXPECT_FALSE(recorder.bounded_overflow());
+  EXPECT_EQ(recorder.count(), 0u);
+  // Still bounded: refilling past the cap spills again.
+  for (int i = 0; i < 10; ++i) recorder.Add(7.0);
+  EXPECT_TRUE(recorder.bounded_overflow());
+  EXPECT_EQ(recorder.count(), 10u);
+  EXPECT_EQ(recorder.Min(), 7.0);
+  EXPECT_EQ(recorder.Max(), 7.0);
+}
+
+TEST(LatencyRecorderBounded, SmallIntegerSamplesAreExactInTheHistogram) {
+  // Log2Histogram stores values below 32 exactly, so a spilled recorder
+  // over a tiny discrete domain loses nothing.
+  LatencyRecorder recorder;
+  recorder.EnableBounded(2);
+  std::vector<double> samples = {3, 3, 3, 5, 5, 9, 9, 9, 9, 31};
+  for (double s : samples) recorder.Add(s);
+  EXPECT_TRUE(recorder.bounded_overflow());
+  EXPECT_EQ(recorder.Percentile(0), 3.0);
+  EXPECT_EQ(recorder.Percentile(100), 31.0);
+  EXPECT_NEAR(recorder.Percentile(50), 7.0, 2.01);
+}
+
+}  // namespace
+}  // namespace xssd::sim
