@@ -245,6 +245,10 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
                      static_cast<double>(TotalInjected(injector.totals())));
   reporter.SetResult(label, "invariant_failures",
                      static_cast<double>(failures));
+  // Nonzero means some fault/workload site asked for a past timestamp and
+  // the scheduler clamped it to Now() — an ordering bug in the plan.
+  reporter.SetResult(label, "schedule_past_clamps",
+                     static_cast<double>(sim.past_schedule_clamps()));
   std::printf("plan=%s seed=%llu submitted=%zu injected=%llu %s\n",
               label.c_str(), static_cast<unsigned long long>(seed), submitted,
               static_cast<unsigned long long>(TotalInjected(injector.totals())),

@@ -439,6 +439,10 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
                      static_cast<double>(fenced_total()));
   reporter.SetResult(label, "invariant_failures",
                      static_cast<double>(failures));
+  // Nonzero means some scenario step asked for a past timestamp and the
+  // scheduler clamped it to Now() — an ordering bug in the scenario.
+  reporter.SetResult(label, "schedule_past_clamps",
+                     static_cast<double>(sim.past_schedule_clamps()));
   std::printf("plan=%s seed=%llu acked=%llu final=%llu promotions=%llu "
               "fenced=%llu %s\n",
               label.c_str(), static_cast<unsigned long long>(seed),

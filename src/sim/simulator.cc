@@ -1,52 +1,101 @@
 #include "sim/simulator.h"
 
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/logging.h"
 #include "obs/trace.h"
 
 namespace xssd::sim {
 
-void Simulator::ScheduleAt(SimTime when, Callback fn) {
-  XSSD_CHECK(when >= now_);
-  uint64_t seq = next_seq_++;
-  if (trace_) trace_->OnEventScheduled(now_, when, seq);
-  queue_.push(Event{when, seq, std::move(fn)});
+Simulator::~Simulator() { wheel_.ReleaseAll(&pool_); }
+
+Simulator::SchedulerBackend Simulator::DefaultBackend() {
+  static const SchedulerBackend cached = [] {
+#ifdef XSSD_SIM_HEAP_SCHEDULER
+    SchedulerBackend fallback = SchedulerBackend::kHeap;
+#else
+    SchedulerBackend fallback = SchedulerBackend::kWheel;
+#endif
+    const char* env = std::getenv("XSSD_SIM_SCHEDULER");
+    if (env == nullptr || env[0] == '\0') return fallback;
+    if (std::strcmp(env, "heap") == 0) return SchedulerBackend::kHeap;
+    if (std::strcmp(env, "wheel") == 0) return SchedulerBackend::kWheel;
+    XSSD_LOG(kWarning) << "unknown XSSD_SIM_SCHEDULER=" << env
+                       << " (want heap|wheel); using build default";
+    return fallback;
+  }();
+  return cached;
 }
 
-void Simulator::Step() {
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) {
+    ++past_clamps_;
+    // A past timestamp is a latent ordering bug in the calling model
+    // (e.g. a fault plan firing "before" the event that armed it): loud
+    // in debug builds, clamped-and-counted in release so long campaigns
+    // keep running and the gauge surfaces it.
+    assert(allow_past_schedules_ &&
+           "Simulator::ScheduleAt: `when` is in the past (clamped to Now)");
+    when = now_;
+  }
+  uint64_t seq = next_seq_++;
+  if (trace_) trace_->OnEventScheduled(now_, when, seq);
+  if (backend_ == SchedulerBackend::kWheel) {
+    wheel_.Insert(pool_.Acquire(when, seq, std::move(fn)));
+  } else {
+    heap_.push(HeapEvent{when, seq, std::move(fn)});
+  }
+}
+
+bool Simulator::StepBounded(SimTime bound) {
+  if (backend_ == SchedulerBackend::kWheel) {
+    EventPool::Node* n = wheel_.PopNext(bound);
+    if (n == nullptr) return false;
+    now_ = n->when;
+    ++executed_;
+    if (trace_) trace_->OnEventBegin(n->when, n->seq);
+    n->fn();
+    if (trace_) trace_->OnEventEnd(n->when, n->seq);
+    pool_.Release(n);
+    return true;
+  }
+  if (heap_.empty() || heap_.top().when > bound) return false;
   // The event is moved out before running so a callback can safely schedule
   // new events (which may reallocate the underlying heap).
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  HeapEvent ev = std::move(const_cast<HeapEvent&>(heap_.top()));
+  heap_.pop();
   now_ = ev.when;
   ++executed_;
   if (trace_) trace_->OnEventBegin(ev.when, ev.seq);
   ev.fn();
   if (trace_) trace_->OnEventEnd(ev.when, ev.seq);
+  return true;
 }
 
 void Simulator::Run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    Step();
+  while (!stopped_ && StepBounded(~SimTime{0})) {
   }
 }
 
 uint64_t Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
   uint64_t ran = 0;
-  while (!queue_.empty() && !stopped_ && queue_.top().when <= deadline) {
-    Step();
-    ++ran;
+  while (!stopped_ && StepBounded(deadline)) ++ran;
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+    wheel_.AdvanceTo(deadline);
   }
-  if (!stopped_ && now_ < deadline) now_ = deadline;
   return ran;
 }
 
 bool Simulator::RunWhile(const std::function<bool()>& done) {
   stopped_ = false;
   while (!done()) {
-    if (queue_.empty() || stopped_) return false;
-    Step();
+    if (stopped_) return false;
+    if (!StepBounded(~SimTime{0})) return false;
   }
   return true;
 }

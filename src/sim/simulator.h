@@ -6,7 +6,9 @@
 #include <queue>
 #include <vector>
 
+#include "sim/event_pool.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace xssd::obs {
 class TraceSink;
@@ -23,14 +25,35 @@ namespace xssd::sim {
 /// runs fully deterministic. The simulator is single-threaded by design;
 /// "concurrency" (DB workers, channels, devices) is expressed as interleaved
 /// events on the virtual clock.
+///
+/// Two scheduler backends implement the same (when, seq) total order:
+///  - kWheel (default): hierarchical timer wheel + pooled event nodes;
+///    O(1) schedule/fire, allocation-free in steady state.
+///  - kHeap: the legacy binary heap of by-value events, kept selectable so
+///    the backends can be diffed byte-for-byte on campaign metrics (CI
+///    does) and as the conservative fallback.
+/// Select per-process with XSSD_SIM_SCHEDULER=heap|wheel, per-build with
+/// -DXSSD_SIM_HEAP_SCHEDULER=ON, or per-instance via the constructor.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only callable with a 48-byte inline capture buffer; converts
+  /// implicitly from lambdas, function pointers and std::function.
+  using Callback = EventFn;
 
-  Simulator() = default;
+  enum class SchedulerBackend { kWheel, kHeap };
+
+  Simulator() : Simulator(DefaultBackend()) {}
+  explicit Simulator(SchedulerBackend backend) : backend_(backend) {}
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Backend chosen by the XSSD_SIM_SCHEDULER environment variable
+  /// ("wheel" or "heap"), falling back to the build default.
+  static SchedulerBackend DefaultBackend();
+
+  SchedulerBackend backend() const { return backend_; }
 
   /// Current virtual time.
   SimTime Now() const { return now_; }
@@ -40,7 +63,11 @@ class Simulator {
     ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  /// Schedule `fn` at an absolute virtual time (>= Now()).
+  /// Schedule `fn` at an absolute virtual time. A `when` in the past is
+  /// clamped to Now() — the event fires next, after already-queued events
+  /// at the current timestamp — and counted in past_schedule_clamps() so
+  /// fault-plan and workload authors can see the latent ordering bug. In
+  /// debug builds the clamp aborts unless set_allow_past_schedules(true).
   void ScheduleAt(SimTime when, Callback fn);
 
   /// Run until the event queue drains (or Stop() is called).
@@ -60,9 +87,25 @@ class Simulator {
   /// Abort Run/RunUntil after the current event returns.
   void Stop() { stopped_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  size_t pending_events() const { return queue_.size(); }
+  bool empty() const { return pending_events() == 0; }
+  size_t pending_events() const {
+    return backend_ == SchedulerBackend::kWheel ? wheel_.size()
+                                                : heap_.size();
+  }
   uint64_t executed_events() const { return executed_; }
+
+  /// Number of ScheduleAt() calls whose `when` was in the past and got
+  /// clamped to Now(). Campaign benches export this as a gauge.
+  uint64_t past_schedule_clamps() const { return past_clamps_; }
+
+  /// Permit past-timestamp scheduling (still clamped and counted) without
+  /// the debug-build abort. Intended for tests that exercise the clamp.
+  void set_allow_past_schedules(bool allow) { allow_past_schedules_ = allow; }
+
+  /// Event-pool allocation stats (wheel backend; the heap backend does not
+  /// pool). kernel_bench reports these as the allocs/event trajectory.
+  const EventPool& event_pool() const { return pool_; }
+  const TimerWheel& timer_wheel() const { return wheel_; }
 
   /// Attach an observability sink (nullptr detaches). The simulator calls
   /// it on every schedule/fire with virtual timestamps; see obs/trace.h.
@@ -71,27 +114,35 @@ class Simulator {
   obs::TraceSink* trace_sink() const { return trace_; }
 
  private:
-  struct Event {
+  /// Legacy-layout heap event: by-value storage, no pooling.
+  struct HeapEvent {
     SimTime when;
     uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    Callback fn;
+    EventFn fn;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEvent& a, const HeapEvent& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops and runs a single event. Precondition: queue not empty.
-  void Step();
+  /// Pops and runs the earliest event if its timestamp is <= `bound`.
+  /// Returns false (running nothing) otherwise.
+  bool StepBounded(SimTime bound);
 
+  SchedulerBackend backend_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  uint64_t past_clamps_ = 0;
   bool stopped_ = false;
+  bool allow_past_schedules_ = false;
   obs::TraceSink* trace_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  EventPool pool_;
+  TimerWheel wheel_;
+  std::priority_queue<HeapEvent, std::vector<HeapEvent>, Later> heap_;
 };
 
 }  // namespace xssd::sim
