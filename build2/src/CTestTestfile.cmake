@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("sim")
+subdirs("fault")
+subdirs("pcie")
+subdirs("flash")
+subdirs("ftl")
+subdirs("nvme")
+subdirs("ntb")
+subdirs("core")
+subdirs("host")
+subdirs("ha")
+subdirs("db")
+subdirs("check")

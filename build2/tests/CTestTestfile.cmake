@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/sim_test[1]_include.cmake")
+include("/root/repo/build2/tests/common_test[1]_include.cmake")
+include("/root/repo/build2/tests/pcie_test[1]_include.cmake")
+include("/root/repo/build2/tests/flash_test[1]_include.cmake")
+include("/root/repo/build2/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_smoke_test[1]_include.cmake")
+include("/root/repo/build2/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build2/tests/ftl_core_test[1]_include.cmake")
+include("/root/repo/build2/tests/nvme_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_test[1]_include.cmake")
+include("/root/repo/build2/tests/ntb_test[1]_include.cmake")
+include("/root/repo/build2/tests/obs_test[1]_include.cmake")
+include("/root/repo/build2/tests/host_test[1]_include.cmake")
+include("/root/repo/build2/tests/db_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/fault_test[1]_include.cmake")
+include("/root/repo/build2/tests/fault_integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/ha_test[1]_include.cmake")
+include("/root/repo/build2/tests/check_test[1]_include.cmake")
