@@ -39,12 +39,17 @@ std::string RunLabel(double update_period_us) {
 RunResult RunOne(double update_period_us, sim::SimTime duration,
                  bench::BenchReporter* reporter) {
   sim::Simulator sim;
+  // Each fabric is its own scheduler domain: under XSSD_SIM_SCHEDULER=
+  // parallel the two nodes advance on separate workers, synchronized by the
+  // NTB hop latency (the serial backends merge the domains identically).
+  sim.ConfigureDomains(2);
   reporter->AttachTrace(&sim, RunLabel(update_period_us));
   core::VillarsConfig config =
       bench::PaperVillarsConfig(core::BackingKind::kSram);
+  pcie::FabricConfig secondary_fabric = bench::PaperFabricConfig();
+  secondary_fabric.domain = 1;
   host::StorageNode primary(&sim, config, bench::PaperFabricConfig(), "pri");
-  host::StorageNode secondary(&sim, config, bench::PaperFabricConfig(),
-                              "sec");
+  host::StorageNode secondary(&sim, config, secondary_fabric, "sec");
   if (!primary.Init().ok() || !secondary.Init().ok()) std::exit(1);
   // Node prefixes keep the two devices' metric namespaces apart.
   primary.EnableMetrics(&reporter->registry(), "pri.");

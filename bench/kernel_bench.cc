@@ -1,24 +1,30 @@
-// DES-kernel microbench: replays three representative event mixes against
-// the timer-wheel and legacy binary-heap scheduler backends and writes
-// BENCH_kernel.json — the per-PR point on the repo's perf trajectory
+// DES-kernel microbench: replays four representative event mixes against
+// the timer-wheel, legacy binary-heap, and parallel scheduler backends and
+// writes BENCH_kernel.json — the per-PR point on the repo's perf trajectory
 // (see TESTING.md "Performance trajectory"). CI gates on the wheel's
 // events/sec staying above the checked-in floor in
-// bench/baselines/kernel_floor.json and on the wheel/heap speedup.
+// bench/baselines/kernel_floor.json, on the wheel/heap speedup, and (on
+// multi-core runners) on the parallel backend's speedup over the serial
+// wheel for the multi-fabric mix.
 //
 // Usage:
 //   kernel_bench [--out BENCH_kernel.json] [--events N] [--seed S]
-//                [--mix uniform|pipeline|fuzz|all]
+//                [--mix uniform|pipeline|fuzz|fabric|all]
 //                [--backend wheel|heap|both]
 //
 // The virtual-time workload is identical across backends (same seeds, same
-// event order), so only the wall-clock cost of the scheduler differs.
+// event order), so only the wall-clock cost of the scheduler differs. The
+// fabric mix always runs all three backends; the parallel backend is
+// meaningless for the single-domain mixes (it degenerates to the wheel).
 
+#include <array>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/event_pool.h"
@@ -159,10 +165,105 @@ void SeedFuzz(RunCtx* ctx) {
   }
 }
 
+// ---- Mix 4: multi-fabric NTB mix -------------------------------------
+// Four scheduler domains, each a pool of independent near-future chains
+// (the per-fabric device traffic), with every 64th chain step forwarding a
+// terminal cross-domain event to the next domain one NTB hop latency out —
+// the fig13 replication shape at kernel scale. This is the only mix the
+// parallel backend can spread across workers; the serial backends merge
+// the domains on one thread. All state is per-domain so parallel workers
+// never share mutable data.
+
+constexpr uint32_t kFabricDomains = 4;
+constexpr SimTime kFabricLookahead = 1300;  // NtbConfig::hop_latency default
+
+struct FabricCtx {
+  Simulator* sim;
+  struct alignas(64) PerDomain {
+    Rng rng{0};
+    uint64_t budget = 0;
+    uint64_t iter = 0;
+    size_t peak_pending = 0;
+  };
+  std::array<PerDomain, kFabricDomains> dom;
+
+  bool Tick(uint32_t d) {
+    PerDomain& pd = dom[d];
+    size_t pending = sim->domain_pending_events(d);
+    if (pending > pd.peak_pending) pd.peak_pending = pending;
+    if (pd.budget == 0) return false;
+    --pd.budget;
+    return true;
+  }
+};
+
+struct FabricCross {
+  FabricCtx* ctx;
+  uint32_t domain;
+  void operator()() const { ctx->Tick(domain); }  // terminal: NTB delivery
+};
+
+struct FabricChain {
+  FabricCtx* ctx;
+  uint32_t domain;
+  void operator()() const {
+    if (!ctx->Tick(domain)) return;
+    FabricCtx::PerDomain& pd = ctx->dom[domain];
+    if (++pd.iter % 64 == 0) {
+      uint32_t peer = (domain + 1) % kFabricDomains;
+      ctx->sim->ScheduleIn(peer, kFabricLookahead + pd.rng.Uniform(700),
+                           FabricCross{ctx, peer});
+    }
+    ctx->sim->Schedule(pd.rng.UniformRange(100, 16000),
+                       FabricChain{ctx, domain});
+  }
+};
+
+MixStats RunFabricMix(Simulator::SchedulerBackend backend, uint64_t seed,
+                      uint64_t events) {
+  Simulator sim(backend);
+  sim.ConfigureDomains(kFabricDomains);
+  sim.DeclareLookahead(kFabricLookahead);
+  FabricCtx ctx;
+  ctx.sim = &sim;
+  uint64_t fn_heap_before = EventFn::heap_fallbacks();
+  for (uint32_t d = 0; d < kFabricDomains; ++d) {
+    ctx.dom[d].rng = Rng(seed * kFabricDomains + d + 1);
+    ctx.dom[d].budget = events / kFabricDomains;
+    Simulator::DomainScope scope(&sim, d);
+    for (int i = 0; i < 2048; ++i) {
+      sim.Schedule(ctx.dom[d].rng.UniformRange(100, 16000),
+                   FabricChain{&ctx, d});
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  auto stop = std::chrono::steady_clock::now();
+
+  MixStats out;
+  out.events = sim.executed_events();
+  out.wall_sec = std::chrono::duration<double>(stop - start).count();
+  out.events_per_sec =
+      out.wall_sec > 0 ? static_cast<double>(out.events) / out.wall_sec : 0;
+  uint64_t chunks = 0;
+  for (uint32_t d = 0; d < kFabricDomains; ++d) {
+    out.peak_pending += ctx.dom[d].peak_pending;
+    chunks += sim.event_pool(d).chunks_allocated();
+  }
+  out.pool_chunk_allocs = chunks;
+  out.callback_heap_fallbacks = EventFn::heap_fallbacks() - fn_heap_before;
+  uint64_t allocs = out.pool_chunk_allocs + out.callback_heap_fallbacks;
+  out.allocs_per_event =
+      out.events > 0 ? static_cast<double>(allocs) / out.events : 0;
+  return out;
+}
+
 // ----------------------------------------------------------------------
 
 MixStats RunMix(const std::string& mix, Simulator::SchedulerBackend backend,
                 uint64_t seed, uint64_t events) {
+  if (mix == "fabric") return RunFabricMix(backend, seed, events);
   Simulator sim(backend);
   Rng rng(seed);
   RunCtx ctx{&sim, &rng, events};
@@ -245,7 +346,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> mixes;
   if (mix_arg == "all") {
-    mixes = {"uniform", "pipeline", "fuzz"};
+    mixes = {"uniform", "pipeline", "fuzz", "fabric"};
   } else {
     mixes = {mix_arg};
   }
@@ -259,17 +360,22 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"xssd.kernel-bench.v1\",\n"
+               "  \"schema\": \"xssd.kernel-bench.v2\",\n"
                "  \"bench\": \"kernel_bench\",\n"
                "  \"config\": {\"seed\": %" PRIu64 ", \"events_per_mix\": %" PRIu64
-               "},\n"
+               ", \"fabric_domains\": %u, \"hardware_threads\": %u},\n"
                "  \"mixes\": {\n",
-               seed, events);
+               seed, events, kFabricDomains,
+               std::thread::hardware_concurrency());
 
   double min_speedup = -1.0;
   double min_wheel_eps = -1.0;
+  double fabric_par_speedup = -1.0;
   for (size_t m = 0; m < mixes.size(); ++m) {
     const std::string& mix = mixes[m];
+    // The fabric mix always carries a parallel row: the parallel backend is
+    // indistinguishable from the wheel on the single-domain mixes.
+    bool run_parallel = mix == "fabric";
     std::fprintf(f, "    \"%s\": {\n", mix.c_str());
     MixStats wheel, heap;
     if (run_wheel) {
@@ -291,11 +397,29 @@ int main(int argc, char** argv) {
       if (run_wheel) std::fprintf(f, ",\n");
       WriteStats(f, "heap", heap);
     }
+    if (run_parallel && run_wheel) {
+      MixStats par =
+          RunMix(mix, Simulator::SchedulerBackend::kParallel, seed, events);
+      std::printf("%-8s par    %9.0f ev/s  wall %.3fs  peak %zu\n",
+                  mix.c_str(), par.events_per_sec, par.wall_sec,
+                  par.peak_pending);
+      std::fprintf(f, ",\n");
+      WriteStats(f, "parallel", par);
+      if (wheel.events_per_sec > 0) {
+        fabric_par_speedup = par.events_per_sec / wheel.events_per_sec;
+        std::fprintf(f, ",\n      \"parallel_vs_wheel_speedup\": %.3f",
+                     fabric_par_speedup);
+        std::printf("%-8s par/wheel %.2fx\n", mix.c_str(),
+                    fabric_par_speedup);
+      }
+    }
     if (run_wheel && run_heap && heap.events_per_sec > 0) {
       double speedup = wheel.events_per_sec / heap.events_per_sec;
       std::fprintf(f, ",\n      \"wheel_vs_heap_speedup\": %.3f\n", speedup);
       std::printf("%-8s speedup %.2fx\n", mix.c_str(), speedup);
-      if (min_speedup < 0 || speedup < min_speedup) min_speedup = speedup;
+      if (!run_parallel && (min_speedup < 0 || speedup < min_speedup)) {
+        min_speedup = speedup;
+      }
     } else {
       std::fprintf(f, "\n");
     }
@@ -311,6 +435,11 @@ int main(int argc, char** argv) {
   if (min_speedup >= 0) {
     std::fprintf(f, "%s\"min_wheel_vs_heap_speedup\": %.3f",
                  first ? "" : ", ", min_speedup);
+    first = false;
+  }
+  if (fabric_par_speedup >= 0) {
+    std::fprintf(f, "%s\"fabric_parallel_vs_wheel_speedup\": %.3f",
+                 first ? "" : ", ", fabric_par_speedup);
   }
   std::fprintf(f, "}\n}\n");
   std::fclose(f);

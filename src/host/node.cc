@@ -31,6 +31,9 @@ StorageNode::StorageNode(sim::Simulator* sim,
                                            client_options)) {}
 
 Status StorageNode::Init() {
+  // Initialization timers and queue polls armed from here must land in this
+  // node's scheduler domain, not default domain 0.
+  sim::Simulator::DomainScope scope(sim_, fabric_.domain());
   XSSD_RETURN_IF_ERROR(core::ValidateConfig(device_.config()));
   XSSD_RETURN_IF_ERROR(
       device_.Attach(NodeLayout::kBar0Base, NodeLayout::kCmbBase));
@@ -107,6 +110,10 @@ Result<uint64_t> StorageNode::ConnectScratchpadWindowTo(uint32_t slot,
 }
 
 Status ReplicationGroup::AdminSync(StorageNode& node, nvme::Command cmd) {
+  // The admin submission (and anything the device arms while handling it,
+  // e.g. the shadow-update timer) belongs to the target node's domain.
+  sim::Simulator::DomainScope scope(&node.simulator(),
+                                    node.fabric().domain());
   SyncRunner runner(&node.simulator());
   return runner.Await([&](std::function<void(Status)> done) {
     node.driver().Admin(cmd, [done = std::move(done)](

@@ -14,6 +14,10 @@ NtbAdapter::NtbAdapter(sim::Simulator* sim, pcie::PcieFabric* local,
       name_(std::move(name)),
       link_(sim, config.bytes_per_sec) {
   scratchpad_.resize(config_.scratchpad_bytes, 0);
+  // The NTB hop is the only cross-fabric edge in the module graph, so its
+  // cut-through latency is the parallel scheduler's lookahead horizon: no
+  // forwarded write can land on the far fabric sooner than this.
+  if (config_.hop_latency > 0) sim_->DeclareLookahead(config_.hop_latency);
 }
 
 void NtbAdapter::SetMetrics(obs::MetricsRegistry* registry,
@@ -31,6 +35,9 @@ void NtbAdapter::SetSpans(obs::SpanRecorder* spans,
                           const std::string& node_tag) {
   spans_ = spans;
   span_node_ = spans ? spans->InternNode(node_tag) : 0;
+  // Span recorders are shared across domains and not thread-safe: pin the
+  // parallel backend to its (identical) serial merge while one is attached.
+  if (spans != nullptr) sim_->set_force_serial(true);
 }
 
 Status NtbAdapter::CheckOverlap(uint64_t offset, uint64_t size) const {
@@ -148,18 +155,41 @@ void NtbAdapter::OnMmioWrite(uint64_t offset, const uint8_t* data,
                                  spans_->current());
     spans_->EndSpanAt(link_ctx, delivered_at);
   }
-  sim_->ScheduleAt(
-      delivered_at,
-      [this, link_ctx, members = window->members, window_offset,
-       copy = std::move(copy), chunk = config_.forward_chunk]() {
-        obs::ScopedContext scope(spans_, link_ctx);
-        for (const MulticastTarget& member : members) {
-          // Address translation is the only transformation NTB performs
-          // (§2.3); inject into each member fabric as peer-to-peer traffic.
+  bool cross_domain = false;
+  for (const MulticastTarget& member : window->members) {
+    if (member.remote->domain() != local_->domain()) cross_domain = true;
+  }
+  if (!cross_domain) {
+    sim_->ScheduleAt(
+        delivered_at,
+        [this, link_ctx, members = window->members, window_offset,
+         copy = std::move(copy), chunk = config_.forward_chunk]() {
+          obs::ScopedContext scope(spans_, link_ctx);
+          for (const MulticastTarget& member : members) {
+            // Address translation is the only transformation NTB performs
+            // (§2.3); inject into each member fabric as peer-to-peer traffic.
+            member.remote->PeerWrite(member.remote_base + window_offset,
+                                     copy.data(), copy.size(), chunk);
+          }
+        });
+    return;
+  }
+  // Partitioned run: deliver into each member's own scheduler domain. The
+  // delivery time satisfies the lookahead contract by construction
+  // (delivered_at >= now + hop_latency >= now + lookahead). The payload is
+  // shared, not copied per member — delivery callbacks only read it.
+  auto shared_copy = std::make_shared<std::vector<uint8_t>>(std::move(copy));
+  for (const MulticastTarget& member : window->members) {
+    sim_->ScheduleAtIn(
+        member.remote->domain(), delivered_at,
+        [this, link_ctx, member, window_offset, shared_copy,
+         chunk = config_.forward_chunk]() {
+          obs::ScopedContext scope(spans_, link_ctx);
           member.remote->PeerWrite(member.remote_base + window_offset,
-                                   copy.data(), copy.size(), chunk);
-        }
-      });
+                                   shared_copy->data(), shared_copy->size(),
+                                   chunk);
+        });
+  }
 }
 
 void NtbAdapter::OnMmioRead(uint64_t offset, uint8_t* out, size_t len) {

@@ -74,6 +74,7 @@ const PcieFabric::Region* PcieFabric::FindRegion(uint64_t addr) const {
 void PcieFabric::RoutedWrite(sim::BandwidthServer& server, uint64_t addr,
                              const uint8_t* data, size_t len, uint32_t chunk,
                              sim::Simulator::Callback posted, bool peer_path) {
+  CheckDomain();
   const Region* region = FindRegion(addr);
   XSSD_CHECK(region != nullptr);
   XSSD_CHECK(addr + len <= region->base + region->size);
@@ -126,6 +127,7 @@ void PcieFabric::PeerWrite(uint64_t addr, const uint8_t* data, size_t len,
 
 void PcieFabric::HostRead(uint64_t addr, size_t len,
                           std::function<void(std::vector<uint8_t>)> done) {
+  CheckDomain();
   const Region* region = FindRegion(addr);
   XSSD_CHECK(region != nullptr);
   XSSD_CHECK(addr + len <= region->base + region->size);
@@ -155,6 +157,7 @@ void PcieFabric::HostRead(uint64_t addr, size_t len,
 
 void PcieFabric::DmaToHost(uint64_t host_addr, const uint8_t* data, size_t len,
                            sim::Simulator::Callback done) {
+  CheckDomain();
   XSSD_CHECK(host_addr + len <= host_memory_.size());
   if (m_dma_to_host_bytes_) m_dma_to_host_bytes_->Add(len);
   std::vector<uint8_t> copy(data, data + len);
@@ -169,6 +172,7 @@ void PcieFabric::DmaToHost(uint64_t host_addr, const uint8_t* data, size_t len,
 
 void PcieFabric::DmaFromHost(uint64_t host_addr, size_t len,
                              std::function<void(std::vector<uint8_t>)> done) {
+  CheckDomain();
   XSSD_CHECK(host_addr + len <= host_memory_.size());
   if (m_dma_from_host_bytes_) m_dma_from_host_bytes_->Add(len);
   // Read request downstream is negligible; charge memory port + upstream

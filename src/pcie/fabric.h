@@ -46,6 +46,13 @@ struct FabricConfig {
   sim::SimTime read_turnaround = sim::Ns(400);  ///< device read service time
   uint64_t host_memory_bytes = 64ull << 20;  ///< simulated host DRAM image
   double host_memory_bytes_per_sec = 12e9;   ///< DDR bandwidth for DMA
+  /// Scheduler domain this fabric (and every device on it) belongs to —
+  /// the partitioning unit of the parallel backend. All traffic must enter
+  /// a fabric from an event of its own domain; the only legal cross-domain
+  /// edge is the NTB forward (which re-schedules into the target domain
+  /// under the lookahead contract). Checked when the simulator is
+  /// partitioned; single-domain simulations ignore it.
+  uint32_t domain = 0;
 };
 
 /// \brief One host's PCIe subsystem: an address map of BAR regions, shared
@@ -112,6 +119,9 @@ class PcieFabric {
   const FabricConfig& config() const { return config_; }
   const std::string& name() const { return name_; }
 
+  /// Scheduler domain of this fabric (FabricConfig::domain).
+  uint32_t domain() const { return config_.domain; }
+
   /// Aggregate link bandwidth in bytes/sec (lanes × per-lane rate).
   double link_bytes_per_sec() const { return link_bytes_per_sec_; }
 
@@ -134,8 +144,13 @@ class PcieFabric {
 
   /// Attach span tracing (nullptr detaches). The fabric opens no spans of
   /// its own; it relays the ambient request context across the scheduled
-  /// MMIO delivery so device-side spans keep their parent.
-  void SetSpans(obs::SpanRecorder* spans) { spans_ = spans; }
+  /// MMIO delivery so device-side spans keep their parent. A SpanRecorder
+  /// is shared across domains and not thread-safe, so attaching one pins
+  /// the parallel backend to its (identical) serial merge.
+  void SetSpans(obs::SpanRecorder* spans) {
+    spans_ = spans;
+    if (spans != nullptr) sim_->set_force_serial(true);
+  }
 
  private:
   struct Region {
@@ -147,6 +162,15 @@ class PcieFabric {
 
   /// Region containing `addr`, or nullptr.
   const Region* FindRegion(uint64_t addr) const;
+
+  /// Partitioning guard: timed traffic may only enter from an event of
+  /// this fabric's own domain (no-op for single-domain simulators and for
+  /// idle-context setup calls).
+  void CheckDomain() const {
+    if (sim_->domain_count() > 1 && sim_->in_event()) {
+      XSSD_CHECK(sim_->current_domain() == config_.domain);
+    }
+  }
 
   /// Common write path for HostWrite/PeerWrite.
   void RoutedWrite(sim::BandwidthServer& server, uint64_t addr,

@@ -41,6 +41,9 @@ class TimerWheel {
   static constexpr uint64_t kSlotMask = kSlots - 1;
   /// Events with `when ^ now` at or above this bit go to overflow.
   static constexpr int kHorizonBits = kLevelBits * kLevels;  // 48
+  /// Sentinel returned by PeekNextTime when no event is at or below the
+  /// limit (doubles as the "unbounded" limit value).
+  static constexpr SimTime kNoEvent = ~SimTime{0};
 
   using Node = EventPool::Node;
 
@@ -67,10 +70,13 @@ class TimerWheel {
     InsertWheel(n, x);
   }
 
-  /// Pop the globally earliest event if its timestamp is <= `bound`;
-  /// returns nullptr otherwise. May advance the wheel clock up to the
-  /// popped event's timestamp (never past `bound`).
-  Node* PopNext(SimTime bound) {
+  /// Exact timestamp of the earliest pending event if it is <= `limit`;
+  /// kNoEvent otherwise (or when empty). Resolving the minimum may advance
+  /// the wheel clock — cascading slots, migrating overflow — but never past
+  /// `limit`, so a caller that must stay insertable below some horizon (a
+  /// RunUntil deadline, a cross-domain inbox head that will execute before
+  /// the wheel's own minimum) passes that horizon as the limit.
+  SimTime PeekNextTime(SimTime limit) {
     while (size_ != 0) {
       // Level-0 candidate: exact, since a level-0 bucket holds exactly one
       // timestamp. Always the wheel minimum when present (level >= 1 slots
@@ -83,10 +89,7 @@ class TimerWheel {
         // An overflow event can never tie a wheel event: it would already
         // have migrated when the clock entered its 2^48 epoch.
         if (ov == nullptr || t0 < ov->when) {
-          if (t0 > bound) return nullptr;
-          Node* n = PopHead(0, s);
-          AdvanceTo(t0);
-          return n;
+          return t0 > limit ? kNoEvent : t0;
         }
       }
       // Otherwise the earliest work is either a not-yet-cascaded slot at
@@ -108,15 +111,29 @@ class TimerWheel {
         }
       }
       if (ov != nullptr && (!have_lb || ov->when <= lb)) {
-        if (ov->when > bound) return nullptr;
+        if (ov->when > limit) return kNoEvent;
         AdvanceTo(ov->when);  // migrates the overflow head into the wheel
         continue;
       }
       XSSD_CHECK(have_lb);  // size_ > 0, so somewhere an event exists
-      if (lb > bound) return nullptr;
+      if (lb > limit) return kNoEvent;
       AdvanceTo(lb);
     }
-    return nullptr;
+    return kNoEvent;
+  }
+
+  /// Pop the globally earliest event if its timestamp is <= `bound`;
+  /// returns nullptr otherwise. May advance the wheel clock up to the
+  /// popped event's timestamp (never past `bound`).
+  Node* PopNext(SimTime bound) {
+    SimTime t = PeekNextTime(bound);
+    if (t == kNoEvent) return nullptr;
+    // After a successful peek the minimum is a level-0 candidate (overflow
+    // heads migrate into the wheel while the peek resolves lower bounds).
+    uint64_t m0 = bitmap_[0] & (~uint64_t{0} << (now_ & kSlotMask));
+    Node* n = PopHead(0, std::countr_zero(m0));
+    AdvanceTo(t);
+    return n;
   }
 
   /// Move the wheel clock to `t`, cascading every slot that becomes

@@ -1,0 +1,130 @@
+// Integration: two storage nodes on separate PCIe fabrics — partitioned
+// into separate scheduler domains — replicating over NTB, run under all
+// three scheduler backends. The parallel backend drives each fabric on its
+// own worker thread, synchronized by the NTB hop-latency lookahead, and
+// must reproduce the serial backends' results exactly: bit-identical
+// replica contents, the same shadow-counter sequence, the same virtual
+// clock, the same event count.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "host/node.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace xssd {
+namespace {
+
+using Backend = sim::Simulator::SchedulerBackend;
+
+core::VillarsConfig SmallConfig() {
+  core::VillarsConfig config;
+  config.geometry.channels = 2;
+  config.geometry.dies_per_channel = 2;
+  config.geometry.blocks_per_plane = 16;
+  config.geometry.pages_per_block = 32;
+  config.destage.ring_lba_count = 64;
+  return config;
+}
+
+struct StreamResult {
+  std::vector<uint64_t> shadows;   // primary-side shadow counter sequence
+  std::vector<uint8_t> replica;    // secondary CMB image
+  uint64_t written = 0;
+  uint64_t ntb_wire_bytes = 0;     // secondary -> primary counter traffic
+  sim::SimTime final_now = 0;
+  uint64_t executed = 0;
+  uint64_t windows = 0;
+};
+
+StreamResult RunReplicatedStream(Backend backend) {
+  sim::Simulator sim(backend);
+  sim.ConfigureDomains(2);
+  pcie::FabricConfig secondary_fabric;
+  secondary_fabric.domain = 1;
+  host::StorageNode primary(&sim, SmallConfig(), pcie::FabricConfig{},
+                            "pri");
+  host::StorageNode secondary(&sim, SmallConfig(), secondary_fabric, "sec");
+  EXPECT_TRUE(primary.Init().ok());
+  EXPECT_TRUE(secondary.Init().ok());
+  host::ReplicationGroup group({&primary, &secondary});
+  EXPECT_TRUE(
+      group.Setup(core::ReplicationProtocol::kEager, sim::UsF(0.8)).ok());
+
+  StreamResult out;
+  // The hook fires from the primary's domain (the shadow write lands on
+  // the primary fabric), so recording here is single-threaded.
+  primary.device().transport().SetShadowHook(
+      [&](uint32_t, uint64_t value) { out.shadows.push_back(value); });
+
+  std::vector<uint8_t> entry(128);
+  for (size_t i = 0; i < entry.size(); ++i) {
+    entry[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  int remaining = 200;
+  std::function<void()> writer = [&]() {
+    if (remaining == 0) return;
+    --remaining;
+    primary.client().Append(entry.data(), entry.size(), [](Status) {});
+    sim.Schedule(sim::Us(2), writer);
+  };
+  {
+    sim::Simulator::DomainScope scope(&sim, 0);
+    sim.Schedule(0, writer);
+  }
+  sim.RunFor(sim::Ms(5));
+
+  out.written = primary.client().written();
+  out.replica.resize(out.written);
+  secondary.device().cmb().CopyOut(0, out.replica.data(),
+                                   out.replica.size());
+  out.ntb_wire_bytes = secondary.ntb().forwarded_wire_bytes();
+  out.final_now = sim.Now();
+  out.executed = sim.executed_events();
+  out.windows = sim.parallel_windows();
+  return out;
+}
+
+TEST(ParallelFabricTest, ThreeBackendsProduceIdenticalReplication) {
+  StreamResult wheel = RunReplicatedStream(Backend::kWheel);
+  StreamResult heap = RunReplicatedStream(Backend::kHeap);
+  StreamResult par = RunReplicatedStream(Backend::kParallel);
+
+  ASSERT_EQ(wheel.written, 200u * 128u);
+  ASSERT_FALSE(wheel.shadows.empty());
+
+  for (const StreamResult* other : {&heap, &par}) {
+    EXPECT_EQ(wheel.written, other->written);
+    EXPECT_EQ(wheel.final_now, other->final_now);
+    EXPECT_EQ(wheel.executed, other->executed);
+    EXPECT_EQ(wheel.ntb_wire_bytes, other->ntb_wire_bytes);
+    ASSERT_EQ(wheel.shadows, other->shadows);
+    ASSERT_EQ(wheel.replica, other->replica);
+  }
+  // The serial backends never open lockstep windows; the parallel backend
+  // must actually have engaged its workers for this comparison to mean
+  // anything.
+  EXPECT_EQ(wheel.windows, 0u);
+  EXPECT_GT(par.windows, 0u);
+}
+
+TEST(ParallelFabricTest, DomainGuardAcceptsPartitionedTraffic) {
+  // The fabric domain guard (traffic may only enter a fabric from its own
+  // domain) must stay silent for a correctly partitioned topology even
+  // under sustained cross-NTB load — the test passing at all is the
+  // assertion, plus the replica must be bit-exact.
+  StreamResult par = RunReplicatedStream(Backend::kParallel);
+  std::vector<uint8_t> expect(par.written);
+  for (size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = static_cast<uint8_t>((i % 128) * 7 + 3);
+  }
+  EXPECT_EQ(par.replica, expect);
+}
+
+}  // namespace
+}  // namespace xssd

@@ -1,8 +1,11 @@
-// Adversarial scheduler properties, parameterized over both backends.
-// The timer wheel must be indistinguishable from the legacy binary heap:
-// same (when, seq) total order, same clock semantics at bucket edges, same
-// Stop()/resume behavior — plus wheel-only guarantees (allocation-free
-// steady state) and the past-schedule clamp contract.
+// Adversarial scheduler properties, parameterized over all three backends.
+// The timer wheel and the parallel backend must be indistinguishable from
+// the legacy binary heap: same (when, seq) total order, same clock
+// semantics at bucket edges, same Stop()/resume behavior — plus wheel-only
+// guarantees (allocation-free steady state) and the past-schedule clamp
+// contract. (On these single-domain schedules the parallel backend runs
+// its serial merge; the multi-domain worker paths are covered by
+// parallel_scheduler_test.cc.)
 
 #include <cstdint>
 #include <functional>
@@ -32,7 +35,14 @@ constexpr SimTime kHorizon = SimTime{1} << TimerWheel::kHorizonBits;
 class SchedulerPropertyTest : public ::testing::TestWithParam<Backend> {};
 
 std::string BackendName(const ::testing::TestParamInfo<Backend>& info) {
-  return info.param == Backend::kWheel ? "wheel" : "heap";
+  switch (info.param) {
+    case Backend::kHeap:
+      return "heap";
+    case Backend::kParallel:
+      return "parallel";
+    default:
+      return "wheel";
+  }
 }
 
 TEST_P(SchedulerPropertyTest, FifoAcrossBucketBoundaries) {
@@ -225,13 +235,16 @@ std::vector<std::pair<SimTime, uint64_t>> RunRandomSchedule(Backend backend,
   return fired;
 }
 
-TEST(SchedulerDifferentialTest, WheelMatchesHeapOnRandomSchedules) {
+TEST(SchedulerDifferentialTest, AllBackendsMatchOnRandomSchedules) {
   for (uint64_t seed : {1u, 2u, 3u, 7u, 42u}) {
     auto wheel = RunRandomSchedule(Backend::kWheel, seed);
     auto heap = RunRandomSchedule(Backend::kHeap, seed);
+    auto par = RunRandomSchedule(Backend::kParallel, seed);
     ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+    ASSERT_EQ(wheel.size(), par.size()) << "seed " << seed;
     for (size_t i = 0; i < wheel.size(); ++i) {
       ASSERT_EQ(wheel[i], heap[i]) << "seed " << seed << " event " << i;
+      ASSERT_EQ(wheel[i], par[i]) << "seed " << seed << " event " << i;
     }
   }
 }
@@ -291,7 +304,8 @@ TEST(EventFnTest, LargeCapturesSpillToHeapAndStillRun) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, SchedulerPropertyTest,
-                         ::testing::Values(Backend::kWheel, Backend::kHeap),
+                         ::testing::Values(Backend::kWheel, Backend::kHeap,
+                                           Backend::kParallel),
                          BackendName);
 
 }  // namespace
