@@ -86,10 +86,11 @@ void BM_PageMapUpdate(benchmark::State& state) {
   geometry.dies_per_channel = 2;
   ftl::PageMap map(geometry, geometry.pages() / 2);
   sim::Rng rng(3);
+  uint64_t seq = 0;
   for (auto _ : state) {
     uint64_t lpn = rng.Uniform(map.lpn_count());
     uint64_t ppn = rng.Uniform(geometry.pages());
-    map.Map(lpn, ppn);
+    map.Map(lpn, ppn, ++seq);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,0 +1,131 @@
+#include "check/mapping_oracle.h"
+
+#include <sstream>
+
+namespace xssd::check {
+
+namespace {
+
+Divergence Diverge(const std::string& rule, const std::string& detail) {
+  Divergence d;
+  d.rule = rule;
+  d.detail = detail;
+  return d;
+}
+
+}  // namespace
+
+std::vector<Divergence> CheckMappingConsistent(
+    const ftl::PageMap& map, const flash::Geometry& geometry) {
+  std::vector<Divergence> out;
+
+  // l2p → p2l: every live mapping must be reflected in the reverse map.
+  for (uint64_t lpn = 0; lpn < map.lpn_count(); ++lpn) {
+    uint64_t ppn = map.Lookup(lpn);
+    if (ppn == ftl::kUnmapped) continue;
+    if (map.ReverseLookup(ppn) != lpn) {
+      std::ostringstream detail;
+      detail << "lpn " << lpn << " maps to ppn " << ppn
+             << " but p2l[" << ppn << "] = " << map.ReverseLookup(ppn);
+      out.push_back(Diverge("mapping.l2p_p2l", detail.str()));
+      break;
+    }
+  }
+
+  // p2l → l2p: a reverse entry that is not the live mapping is a leaked
+  // valid page (it would pin its block against GC forever).
+  for (uint64_t ppn = 0; ppn < geometry.pages(); ++ppn) {
+    uint64_t lpn = map.ReverseLookup(ppn);
+    if (lpn == ftl::kUnmapped) continue;
+    if (map.Lookup(lpn) != ppn) {
+      std::ostringstream detail;
+      detail << "p2l[" << ppn << "] = " << lpn << " but lpn " << lpn
+             << " maps to " << map.Lookup(lpn);
+      out.push_back(Diverge("mapping.l2p_p2l", detail.str()));
+      break;
+    }
+  }
+
+  // Per-block valid counts against a recount of the reverse map.
+  for (uint64_t block = 0; block < geometry.blocks(); ++block) {
+    uint32_t recount = 0;
+    uint64_t first = block * geometry.pages_per_block;
+    for (uint64_t p = first; p < first + geometry.pages_per_block; ++p) {
+      if (map.ReverseLookup(p) != ftl::kUnmapped) ++recount;
+    }
+    if (recount != map.ValidCount(block)) {
+      std::ostringstream detail;
+      detail << "block " << block << " ValidCount "
+             << map.ValidCount(block) << " but " << recount
+             << " reverse-mapped pages";
+      out.push_back(Diverge("mapping.valid_count", detail.str()));
+      break;
+    }
+  }
+
+  uint64_t live = 0;
+  for (uint64_t lpn = 0; lpn < map.lpn_count(); ++lpn) {
+    if (map.Lookup(lpn) != ftl::kUnmapped) ++live;
+  }
+  if (live != map.mapped_pages()) {
+    std::ostringstream detail;
+    detail << "mapped_pages() " << map.mapped_pages() << " but " << live
+           << " lpns are mapped";
+    out.push_back(Diverge("mapping.mapped_total", detail.str()));
+  }
+  return out;
+}
+
+std::vector<Divergence> CheckRebuildMatches(const ftl::Ftl& ftl,
+                                            const flash::Geometry& geometry) {
+  ftl::RebuildReport report;
+  ftl::PageMap rebuilt = ftl.RebuildFromOob(&report);
+  const ftl::PageMap& live = ftl.page_map();
+
+  // A rebuilt map that is internally inconsistent is its own bug class.
+  std::vector<Divergence> out = CheckMappingConsistent(rebuilt, geometry);
+
+  if (rebuilt == live) return out;
+
+  // Pin down the first observable difference for the report.
+  for (uint64_t lpn = 0; lpn < live.lpn_count(); ++lpn) {
+    if (rebuilt.Lookup(lpn) != live.Lookup(lpn) ||
+        rebuilt.SeqOf(lpn) != live.SeqOf(lpn)) {
+      std::ostringstream detail;
+      detail << "lpn " << lpn << ": live (ppn " << live.Lookup(lpn)
+             << ", seq " << live.SeqOf(lpn) << ") vs rebuilt (ppn "
+             << rebuilt.Lookup(lpn) << ", seq " << rebuilt.SeqOf(lpn)
+             << "); scanned " << report.pages_scanned << " pages, "
+             << report.stale_copies << " stale";
+      out.push_back(Diverge("rebuild.mismatch", detail.str()));
+      return out;
+    }
+  }
+  for (uint64_t ppn = 0; ppn < geometry.pages(); ++ppn) {
+    if (rebuilt.ReverseLookup(ppn) != live.ReverseLookup(ppn)) {
+      std::ostringstream detail;
+      detail << "ppn " << ppn << ": live p2l " << live.ReverseLookup(ppn)
+             << " vs rebuilt " << rebuilt.ReverseLookup(ppn);
+      out.push_back(Diverge("rebuild.mismatch", detail.str()));
+      return out;
+    }
+  }
+  for (uint64_t block = 0; block < geometry.blocks(); ++block) {
+    if (rebuilt.ValidCount(block) != live.ValidCount(block)) {
+      std::ostringstream detail;
+      detail << "block " << block << ": live ValidCount "
+             << live.ValidCount(block) << " vs rebuilt "
+             << rebuilt.ValidCount(block);
+      out.push_back(Diverge("rebuild.mismatch", detail.str()));
+      return out;
+    }
+  }
+  out.push_back(Diverge("rebuild.mismatch",
+                        "maps differ (mapped total: live " +
+                            std::to_string(live.mapped_pages()) +
+                            " vs rebuilt " +
+                            std::to_string(rebuilt.mapped_pages()) + ")"));
+  return out;
+}
+
+}  // namespace xssd::check

@@ -1,0 +1,42 @@
+#ifndef XSSD_CHECK_MAPPING_ORACLE_H_
+#define XSSD_CHECK_MAPPING_ORACLE_H_
+
+#include <vector>
+
+#include "check/reference_model.h"
+#include "flash/geometry.h"
+#include "ftl/ftl.h"
+#include "ftl/mapping.h"
+
+namespace xssd::check {
+
+/// \brief Structural invariants of a page map, checkable from the outside:
+///
+///  - mapping.l2p_p2l: the forward and reverse maps are mutual inverses —
+///    every mapped lpn's physical page points back at it and every claimed
+///    reverse entry is the live mapping.
+///  - mapping.valid_count: each block's valid count equals the number of
+///    reverse-mapped pages it holds.
+///  - mapping.mapped_total: mapped_pages() equals the number of lpns with
+///    a live mapping.
+///
+/// Returns one Divergence per violated rule (first counterexample each);
+/// empty means consistent.
+std::vector<Divergence> CheckMappingConsistent(
+    const ftl::PageMap& map, const flash::Geometry& geometry);
+
+/// \brief Differential recovery oracle: RebuildFromOob() must reproduce the
+/// live map exactly (PageMap::operator==) at a quiesced point. On mismatch
+/// reports rule "rebuild.mismatch" with the first differing lpn / physical
+/// page / block as detail, plus any structural inconsistency found in the
+/// rebuilt map itself.
+///
+/// Quiesced means no in-flight programs or erases; callers drain the
+/// simulator first. TRIM is documented as not crash-persistent, so maps
+/// that saw a Trim since the last overwrite of that lpn are out of scope.
+std::vector<Divergence> CheckRebuildMatches(const ftl::Ftl& ftl,
+                                            const flash::Geometry& geometry);
+
+}  // namespace xssd::check
+
+#endif  // XSSD_CHECK_MAPPING_ORACLE_H_

@@ -78,6 +78,7 @@ void VillarsDevice::ArmFaults(fault::FaultInjector* injector,
   controller_->set_fault_injector(injector);
   cmb_->SetFaultInjector(injector, name_ + "/");
   destage_->SetFaultInjector(injector, name_ + "/");
+  ftl_->SetFaultInjector(injector, name_ + "/");
   if (injector != nullptr && install_crash_handler) {
     injector->SetCrashHandler([this](const fault::FaultSpec& spec) {
       if (spec.graceful) {

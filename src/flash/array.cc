@@ -21,6 +21,7 @@ Array::Array(sim::Simulator* sim, Geometry geometry, Timing timing,
     die.blocks.resize(blocks_per_die);
     for (Block& block : die.blocks) {
       block.pages.resize(geometry_.pages_per_block);
+      block.oob.resize(geometry_.pages_per_block);
       if (reliability_.factory_bad_block_rate > 0 &&
           rng_.Bernoulli(reliability_.factory_bad_block_rate)) {
         block.bad = true;
@@ -85,9 +86,10 @@ uint64_t Array::SampleBitErrors(const Block& block) {
 }
 
 void Array::Program(const Address& addr, std::vector<uint8_t> data,
-                    ProgramCallback done,
+                    std::vector<uint8_t> oob, ProgramCallback done,
                     sim::Simulator::Callback bus_released) {
   XSSD_CHECK(Contains(geometry_, addr));
+  XSSD_CHECK(oob.size() <= geometry_.oob_bytes);
   Block& block = BlockAt(addr);
   if (block.bad) {
     ++stats_.bad_block_rejects;
@@ -137,6 +139,7 @@ void Array::Program(const Address& addr, std::vector<uint8_t> data,
     return;
   }
   block.pages[addr.page] = std::move(data);
+  block.oob[addr.page] = std::move(oob);
   block.next_page = addr.page + 1;
   sim_->ScheduleAt(prog_done,
                    [done = std::move(done)]() { done(Status::OK()); });
@@ -212,6 +215,7 @@ void Array::Erase(const Address& addr, EraseCallback done) {
   }
   ++block.erase_count;
   for (auto& page : block.pages) page.clear();
+  for (auto& spare : block.oob) spare.clear();
   block.next_page = 0;
   sim_->ScheduleAt(erase_done,
                    [done = std::move(done)]() { done(Status::OK()); });
@@ -241,6 +245,12 @@ const std::vector<uint8_t>* Array::PeekPage(const Address& addr) const {
   const Block& block = BlockAt(addr);
   if (block.pages[addr.page].empty()) return nullptr;
   return &block.pages[addr.page];
+}
+
+const std::vector<uint8_t>* Array::PeekOob(const Address& addr) const {
+  const Block& block = BlockAt(addr);
+  if (block.oob[addr.page].empty()) return nullptr;
+  return &block.oob[addr.page];
 }
 
 double Array::MaxProgramBandwidth() const {

@@ -60,12 +60,21 @@ class Array {
   /// Fails with kIoError on (injected) program failure — the caller must
   /// treat the block as bad — or kFailedPrecondition on NAND rule
   /// violations (page not erased / out-of-order program).
+  /// `oob` (at most geometry().oob_bytes) lands in the page's spare area in
+  /// the same program pulse — data and OOB are atomic, which is what makes
+  /// an OOB mapping scan a sound recovery source.
   /// `bus_released` (optional) fires when the channel-bus transfer into the
   /// die's page register finishes — the point the scheduler may start the
   /// next transfer on this channel while tPROG runs.
   void Program(const Address& addr, std::vector<uint8_t> data,
-               ProgramCallback done,
+               std::vector<uint8_t> oob, ProgramCallback done,
                sim::Simulator::Callback bus_released = nullptr);
+  void Program(const Address& addr, std::vector<uint8_t> data,
+               ProgramCallback done,
+               sim::Simulator::Callback bus_released = nullptr) {
+    Program(addr, std::move(data), std::vector<uint8_t>{}, std::move(done),
+            std::move(bus_released));
+  }
 
   /// Read a full page. kCorruption when errors exceed the ECC budget; the
   /// returned data is then the *corrupted* image.
@@ -90,6 +99,11 @@ class Array {
   /// tooling only — no timing, no ECC).
   const std::vector<uint8_t>* PeekPage(const Address& addr) const;
 
+  /// Synchronous peek at a page's OOB (spare) bytes, or nullptr when the
+  /// page is erased or carries no OOB. Recovery's boot-time mapping scan
+  /// reads through this probe (timing is charged by the caller).
+  const std::vector<uint8_t>* PeekOob(const Address& addr) const;
+
   const Geometry& geometry() const { return geometry_; }
   const Timing& timing() const { return timing_; }
   const ArrayStats& stats() const { return stats_; }
@@ -111,6 +125,7 @@ class Array {
  private:
   struct Block {
     std::vector<std::vector<uint8_t>> pages;  // empty vector == erased
+    std::vector<std::vector<uint8_t>> oob;    // spare area, same lifecycle
     uint32_t next_page = 0;                   // NAND in-order program cursor
     uint32_t erase_count = 0;
     bool bad = false;

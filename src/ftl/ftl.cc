@@ -1,8 +1,11 @@
 #include "ftl/ftl.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
+#include "ftl/oob.h"
 
 namespace xssd::ftl {
 
@@ -25,7 +28,19 @@ Ftl::Ftl(sim::Simulator* sim, flash::Array* array, FtlConfig config)
                static_cast<double>(array->geometry().pages()) *
                (1.0 - config.overprovision))),
       allocator_(array->geometry()),
-      buffer_port_(sim, config.buffer_bytes_per_sec) {}
+      wear_(array->geometry().blocks()),
+      buffer_port_(sim, config.buffer_bytes_per_sec),
+      inflight_programs_(array->geometry().blocks(), 0) {
+  allocator_.set_gc_reserve(config_.gc_reserved_blocks);
+}
+
+void Ftl::SetFaultInjector(fault::FaultInjector* injector,
+                           const std::string& site_prefix) {
+  injector_ = injector;
+  site_prefix_ = site_prefix;
+}
+
+bool Ftl::Halted() const { return injector_ != nullptr && injector_->crashed(); }
 
 void Ftl::SetMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix) {
@@ -38,8 +53,13 @@ void Ftl::SetMetrics(obs::MetricsRegistry* registry,
       registry->GetCounter(prefix + "ftl.bad_block_retires");
   m_dirty_pages_ = registry->GetGauge(prefix + "ftl.dirty_pages");
   m_free_blocks_ = registry->GetGauge(prefix + "ftl.free_blocks");
+  m_write_amp_ = registry->GetGauge(prefix + "ftl.write_amp");
+  m_erase_min_ = registry->GetGauge(prefix + "ftl.erase_count_min");
+  m_erase_max_ = registry->GetGauge(prefix + "ftl.erase_count_max");
+  m_erase_spread_ = registry->GetGauge(prefix + "ftl.erase_count_spread");
   scheduler_.SetMetrics(registry, prefix);
   UpdateGauges();
+  UpdateWearGauges();
 }
 
 void Ftl::SetSpans(obs::SpanRecorder* spans, const std::string& node_tag) {
@@ -51,6 +71,16 @@ void Ftl::UpdateGauges() {
   if (!m_dirty_pages_) return;
   m_dirty_pages_->Set(static_cast<double>(dirty_count_));
   m_free_blocks_->Set(static_cast<double>(allocator_.free_blocks()));
+  m_write_amp_->Set(stats_.WriteAmplification());
+}
+
+void Ftl::UpdateWearGauges() {
+  if (!m_erase_spread_) return;
+  uint32_t min = wear_.MinCount();
+  uint32_t max = wear_.MaxCount();
+  m_erase_min_->Set(static_cast<double>(min));
+  m_erase_max_->Set(static_cast<double>(max));
+  m_erase_spread_->Set(static_cast<double>(max - min));
 }
 
 void Ftl::TouchLru(uint64_t lpn) {
@@ -85,6 +115,9 @@ void Ftl::WriteBuffered(uint64_t lpn, std::vector<uint8_t> data,
   data.resize(page_bytes(), 0);
   ++stats_.host_writes;
   if (m_host_writes_) m_host_writes_->Add();
+  // The logical version is assigned at accept so that writes queued behind
+  // back-pressure keep their arrival order relative to later writes.
+  uint64_t seq = next_seq_++;
 
   // Device-side back-pressure: when the data buffer is all dirty, new
   // writes wait for writeback to free a slot (the host sees a slower ack,
@@ -92,26 +125,32 @@ void Ftl::WriteBuffered(uint64_t lpn, std::vector<uint8_t> data,
   if (dirty_count_ + flush_inflight_ >= config_.buffer_pages &&
       buffer_.find(lpn) == buffer_.end()) {
     admission_queue_.push_back(
-        AdmissionWaiter{lpn, std::move(data), std::move(done)});
+        AdmissionWaiter{lpn, seq, std::move(data), std::move(done)});
     MaybeScheduleFlush();
     return;
   }
-  AdmitWrite(lpn, std::move(data), std::move(done));
+  AdmitWrite(lpn, seq, std::move(data), std::move(done));
 }
 
-void Ftl::AdmitWrite(uint64_t lpn, std::vector<uint8_t> data,
+void Ftl::AdmitWrite(uint64_t lpn, uint64_t seq, std::vector<uint8_t> data,
                      WriteCallback done) {
   auto it = buffer_.find(lpn);
   if (it == buffer_.end()) {
     lru_.push_front(lpn);
     BufferSlot slot;
     slot.data = std::move(data);
+    slot.seq = seq;
     slot.dirty = true;
     slot.lru_pos = lru_.begin();
     buffer_.emplace(lpn, std::move(slot));
     ++dirty_count_;
+  } else if (seq < it->second.seq) {
+    // This write waited in the admission queue while a newer write for the
+    // same lpn went straight into the buffer; its data is already
+    // superseded. Acknowledge without clobbering the newer copy.
   } else {
     it->second.data = std::move(data);
+    it->second.seq = seq;
     if (!it->second.dirty) {
       it->second.dirty = true;
       ++dirty_count_;
@@ -135,6 +174,7 @@ void Ftl::WriteDirect(IoClass io_class, uint64_t lpn,
   data.resize(page_bytes(), 0);
   ++stats_.host_writes;
   if (m_host_writes_) m_host_writes_->Add();
+  uint64_t seq = next_seq_++;
   // A direct write supersedes any buffered copy.
   auto it = buffer_.find(lpn);
   if (it != buffer_.end()) {
@@ -155,13 +195,14 @@ void Ftl::WriteDirect(IoClass io_class, uint64_t lpn,
       done(status);
     };
   }
-  ProgramPage(io_class, StreamFor(io_class), lpn, std::move(data),
-              std::move(done));
+  ProgramPage(io_class, StreamFor(io_class), lpn, seq, kUnmapped,
+              std::move(data), std::move(done));
 }
 
 void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
-                      uint64_t lpn, std::vector<uint8_t> data,
-                      WriteCallback done, uint32_t attempts) {
+                      uint64_t lpn, uint64_t seq, uint64_t src_ppn,
+                      std::vector<uint8_t> data, WriteCallback done,
+                      uint32_t attempts) {
   Result<flash::Address> addr = allocator_.AllocatePage(stream);
   if (!addr.ok()) {
     // Out of erased blocks: force a GC pass, then retry.
@@ -170,25 +211,33 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
       done(Status::ResourceExhausted("device full: no erased blocks"));
       return;
     }
-    sim_->Schedule(sim::Us(100), [this, io_class, stream, lpn,
+    sim_->Schedule(sim::Us(100), [this, io_class, stream, lpn, seq, src_ppn,
                                   data = std::move(data),
                                   done = std::move(done), attempts]() mutable {
-      ProgramPage(io_class, stream, lpn, std::move(data), std::move(done),
-                  attempts);
+      ProgramPage(io_class, stream, lpn, seq, src_ppn, std::move(data),
+                  std::move(done), attempts);
     });
     return;
   }
   flash::Address target = *addr;
   uint64_t ppn = flash::PageIndex(array_->geometry(), target);
+  // Every physical program carries {lpn, seq, stamp} in the spare area —
+  // the recovery record. The stamp is fresh per attempt so a relocated
+  // copy always outranks its source under equal seq.
+  std::vector<uint8_t> oob = EncodeOob(OobMeta{lpn, seq, ++next_stamp_});
+  ++inflight_programs_[flash::BlockIndex(array_->geometry(), target)];
   scheduler_.Program(
-      io_class, target, data,
-      [this, io_class, stream, lpn, ppn, target, data, attempts,
+      io_class, target, data, std::move(oob),
+      [this, io_class, stream, lpn, seq, src_ppn, ppn, target, data, attempts,
        done = std::move(done)](Status status) mutable {
+        --inflight_programs_[flash::BlockIndex(array_->geometry(), target)];
         if (status.IsIoError()) {
           // Grown bad block: retire it and retry elsewhere (paper §7.1:
           // "handled internally by picking a new block to write").
           uint64_t block = flash::BlockIndex(array_->geometry(), target);
           allocator_.MarkBad(block);
+          wear_.Retire(block);
+          UpdateWearGauges();
           ++stats_.bad_block_retires;
           if (m_bad_block_retires_) m_bad_block_retires_->Add();
           if (attempts + 1 >= config_.max_program_retries) {
@@ -197,7 +246,7 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
             done(status);
             return;
           }
-          ProgramPage(io_class, stream, lpn, std::move(data),
+          ProgramPage(io_class, stream, lpn, seq, src_ppn, std::move(data),
                       std::move(done), attempts + 1);
           return;
         }
@@ -207,7 +256,15 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
         }
         ++stats_.flash_programs;
         if (m_flash_programs_) m_flash_programs_->Add();
-        map_.Map(lpn, ppn);
+        if (src_ppn == kUnmapped) {
+          // Host/destage write: applies unless an even newer version's
+          // program completed first (out-of-order die completions).
+          map_.Map(lpn, ppn, seq);
+        } else {
+          // GC relocation: applies only while the source is still the
+          // live copy; a host rewrite mid-flight makes this a dead page.
+          map_.MapRelocated(lpn, src_ppn, ppn);
+        }
         UpdateGauges();
         MaybeStartGc();
         done(Status::OK());
@@ -244,6 +301,7 @@ void Ftl::ReadPage(IoClass io_class, uint64_t lpn, ReadCallback done) {
 }
 
 void Ftl::MaybeScheduleFlush() {
+  if (Halted()) return;
   while (flush_inflight_ < config_.max_writeback_inflight &&
          (dirty_count_ > config_.flush_watermark ||
           !admission_queue_.empty() || !flush_waiters_.empty())) {
@@ -263,8 +321,10 @@ bool Ftl::FlushOne() {
     ++flush_inflight_;
     UpdateGauges();
     std::vector<uint8_t> data = it->second.data;
+    uint64_t seq = it->second.seq;
     ProgramPage(IoClass::kConventional, BlockAllocator::kConventionalStream,
-                lpn, std::move(data), [this, lpn](Status status) {
+                lpn, seq, kUnmapped, std::move(data),
+                [this, lpn](Status status) {
                   auto slot = buffer_.find(lpn);
                   if (slot != buffer_.end()) slot->second.flushing = false;
                   --flush_inflight_;
@@ -289,7 +349,8 @@ void Ftl::DrainAdmissionQueue() {
          dirty_count_ + flush_inflight_ < config_.buffer_pages) {
     AdmissionWaiter waiter = std::move(admission_queue_.front());
     admission_queue_.pop_front();
-    AdmitWrite(waiter.lpn, std::move(waiter.data), std::move(waiter.done));
+    AdmitWrite(waiter.lpn, waiter.seq, std::move(waiter.data),
+               std::move(waiter.done));
   }
 }
 
@@ -333,27 +394,67 @@ void Ftl::Trim(uint64_t lpn) {
 }
 
 void Ftl::MaybeStartGc() {
-  if (gc_running_) return;
+  if (gc_running_ || Halted()) return;
   if (allocator_.free_blocks() >= config_.gc_low_watermark) return;
   gc_running_ = true;
   GcStep();
 }
 
 void Ftl::GcStep() {
+  if (Halted()) {
+    gc_running_ = false;
+    return;
+  }
   if (allocator_.free_blocks() >= config_.gc_low_watermark * 2 ||
       allocator_.sealed_blocks().empty()) {
     gc_running_ = false;
     return;
   }
-  // Greedy victim: sealed block with the fewest valid pages.
-  uint64_t victim = allocator_.sealed_blocks().front();
-  uint32_t best = map_.ValidCount(victim);
-  for (uint64_t candidate : allocator_.sealed_blocks()) {
-    uint32_t valid = map_.ValidCount(candidate);
-    if (valid < best) {
-      victim = candidate;
-      best = valid;
-      if (best == 0) break;
+  GcTuning tuning{config_.gc_wear_alpha, config_.gc_max_erase_spread};
+  // Only quiesced blocks are candidates: a sealed block with programs
+  // still in flight could gain a valid page after GC's walk passed it.
+  std::deque<uint64_t> candidates;
+  uint32_t min_candidate_erase = std::numeric_limits<uint32_t>::max();
+  for (uint64_t b : allocator_.sealed_blocks()) {
+    if (inflight_programs_[b] != 0) continue;
+    candidates.push_back(b);
+    min_candidate_erase = std::min(min_candidate_erase, wear_.count(b));
+  }
+  // Emergency cold-migration helps only while the least-worn candidate IS
+  // the wear floor: erasing it raises the device minimum. Once the floor
+  // moves to a free or write-point block, migrating sealed blocks cannot
+  // close the spread — it just cycles fully-valid data between blocks,
+  // burning erases forever (each migration erase keeps the spread open).
+  if (tuning.max_erase_spread > 0 &&
+      wear_.Spread() >= tuning.max_erase_spread &&
+      min_candidate_erase > wear_.MinCount()) {
+    tuning.max_erase_spread = 0;  // fall back to blended-greedy selection
+  }
+  uint64_t victim = SelectGcVictim(candidates, map_, wear_, tuning);
+  if (victim == kUnmapped) {
+    // Every sealed block is still quiescing; the pending completions call
+    // MaybeStartGc and re-trigger a pass once their blocks settle.
+    gc_running_ = false;
+    return;
+  }
+  bool wear_emergency = tuning.max_erase_spread > 0 &&
+                        wear_.Spread() >= tuning.max_erase_spread;
+  if (!wear_emergency &&
+      map_.ValidCount(victim) == array_->geometry().pages_per_block) {
+    // The wear-blended pick carries zero garbage. Collecting it would
+    // relocate a full block to free a full block — no net space. Retry
+    // wear-blind: near 100% utilization the wear penalty can shadow a
+    // garbage-bearing block behind a younger fully-valid one, and
+    // reclaiming space beats leveling when the pool is empty.
+    victim = SelectGcVictim(candidates, map_, wear_,
+                            GcTuning{/*wear_alpha=*/0.0,
+                                     /*max_erase_spread=*/0});
+    if (map_.ValidCount(victim) == array_->geometry().pages_per_block) {
+      // Genuinely no garbage anywhere: an endless GC treadmill. Stop;
+      // garbage only reappears when the host invalidates something. (A
+      // wear emergency is the one reason to move a fully-valid block.)
+      gc_running_ = false;
+      return;
     }
   }
   allocator_.Unseal(victim);
@@ -362,24 +463,38 @@ void Ftl::GcStep() {
   auto relocate = std::make_shared<std::function<void(uint32_t)>>();
   auto self = this;
   *relocate = [self, victim, geom, relocate](uint32_t page) {
+    if (self->Halted()) {
+      // Power was cut at some crash site; freeze the mid-GC state. The
+      // victim stays unsealed and un-erased — exactly what recovery sees.
+      self->gc_running_ = false;
+      return;
+    }
     if (page == geom.pages_per_block) {
       // All valid pages moved; erase and recycle.
+      if (self->injector_ != nullptr &&
+          self->injector_->CrashPoint(self->site_prefix_ + "ftl.gc.erase")) {
+        self->gc_running_ = false;
+        return;
+      }
       flash::Address blk = flash::AddressOfBlock(geom, victim);
       self->scheduler_.Erase(
           IoClass::kConventional, blk, [self, victim](Status status) {
             if (status.ok()) {
+              self->wear_.OnErase(victim);
               self->map_.OnBlockErased(victim);
               self->allocator_.Release(victim);
               ++self->stats_.gc_erases;
               if (self->m_gc_erases_) self->m_gc_erases_->Add();
             } else {
               self->allocator_.MarkBad(victim);
+              self->wear_.Retire(victim);
               ++self->stats_.bad_block_retires;
               if (self->m_bad_block_retires_) {
                 self->m_bad_block_retires_->Add();
               }
             }
             self->UpdateGauges();
+            self->UpdateWearGauges();
             self->GcStep();
           });
       return;
@@ -406,15 +521,65 @@ void Ftl::GcStep() {
             (*relocate)(page + 1);
             return;
           }
+          if (self->injector_ != nullptr &&
+              self->injector_->CrashPoint(self->site_prefix_ +
+                                          "ftl.gc.relocate")) {
+            self->gc_running_ = false;
+            return;
+          }
           ++self->stats_.gc_relocations;
           if (self->m_gc_pages_moved_) self->m_gc_pages_moved_->Add();
+          // The copy keeps the victim page's logical version; only the
+          // physical stamp (inside ProgramPage) is fresh.
+          uint64_t seq = self->map_.SeqOf(lpn);
           self->ProgramPage(
-              IoClass::kConventional, BlockAllocator::kGcStream, lpn,
-              std::move(data),
+              IoClass::kConventional, BlockAllocator::kGcStream, lpn, seq,
+              /*src_ppn=*/ppn, std::move(data),
               [relocate, page](Status) { (*relocate)(page + 1); });
         });
   };
   (*relocate)(0);
+}
+
+PageMap Ftl::RebuildFromOob(RebuildReport* report) const {
+  const flash::Geometry& geom = array_->geometry();
+  const uint64_t lpn_count = map_.lpn_count();
+  // Winner per lpn: highest seq, then highest stamp. Grown-bad blocks are
+  // scanned too — a program that went bad after commit still holds data.
+  std::vector<uint64_t> best_ppn(lpn_count, kUnmapped);
+  std::vector<uint64_t> best_seq(lpn_count, 0);
+  std::vector<uint64_t> best_stamp(lpn_count, 0);
+  RebuildReport local;
+  for (uint64_t ppn = 0; ppn < geom.pages(); ++ppn) {
+    const std::vector<uint8_t>* raw =
+        array_->PeekOob(flash::AddressOfPage(geom, ppn));
+    if (raw == nullptr) continue;
+    ++local.pages_scanned;
+    OobMeta meta;
+    if (!DecodeOob(*raw, &meta) || meta.lpn >= lpn_count) {
+      ++local.oob_decode_failures;
+      continue;
+    }
+    if (best_ppn[meta.lpn] != kUnmapped &&
+        (meta.seq < best_seq[meta.lpn] ||
+         (meta.seq == best_seq[meta.lpn] &&
+          meta.stamp < best_stamp[meta.lpn]))) {
+      continue;
+    }
+    best_ppn[meta.lpn] = ppn;
+    best_seq[meta.lpn] = meta.seq;
+    best_stamp[meta.lpn] = meta.stamp;
+  }
+  PageMap rebuilt(geom, lpn_count);
+  for (uint64_t lpn = 0; lpn < lpn_count; ++lpn) {
+    if (best_ppn[lpn] == kUnmapped) continue;
+    rebuilt.Map(lpn, best_ppn[lpn], best_seq[lpn]);
+  }
+  local.mapped = rebuilt.mapped_pages();
+  local.stale_copies =
+      local.pages_scanned - local.oob_decode_failures - local.mapped;
+  if (report != nullptr) *report = local;
+  return rebuilt;
 }
 
 }  // namespace xssd::ftl

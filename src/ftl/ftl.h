@@ -13,9 +13,14 @@
 #include "flash/array.h"
 #include "ftl/mapping.h"
 #include "ftl/scheduler.h"
+#include "ftl/wear.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/bandwidth_server.h"
+
+namespace xssd::fault {
+class FaultInjector;
+}  // namespace xssd::fault
 
 namespace xssd::ftl {
 
@@ -39,6 +44,14 @@ struct FtlConfig {
   /// caller. Bounds the damage of a fault window that fails every program:
   /// past the cap the caller (destage module / host) owns the retry policy.
   uint32_t max_program_retries = 8;
+  /// Wear-leveling blend weight for GC victim selection (GcTuning).
+  double gc_wear_alpha = 2.0;
+  /// Erase-count-spread bound that triggers cold-data migration (GcTuning).
+  uint32_t gc_max_erase_spread = 16;
+  /// Erased blocks held back for GC relocation (BlockAllocator reserve).
+  /// Prevents host streams from draining the pool GC needs to make
+  /// progress — see BlockAllocator::set_gc_reserve.
+  uint64_t gc_reserved_blocks = 2;
 };
 
 /// Cumulative FTL statistics.
@@ -50,12 +63,22 @@ struct FtlStats {
   uint64_t buffer_hits = 0;       ///< reads served from the data buffer
   uint64_t bad_block_retires = 0;
 
-  /// Write amplification factor observed so far.
+  /// Write amplification factor observed so far. An idle device has done
+  /// no amplification at all — by convention that reads 0.0, not 1.0, so a
+  /// dashboard can tell "no traffic yet" from "WA exactly 1".
   double WriteAmplification() const {
     return host_writes == 0
-               ? 1.0
+               ? 0.0
                : static_cast<double>(flash_programs) / host_writes;
   }
+};
+
+/// What RebuildFromOob saw while scanning the spare areas.
+struct RebuildReport {
+  uint64_t pages_scanned = 0;        ///< programmed pages with OOB present
+  uint64_t oob_decode_failures = 0;  ///< CRC or framing mismatches (skipped)
+  uint64_t stale_copies = 0;         ///< candidates that lost a seq/stamp race
+  uint64_t mapped = 0;               ///< lpns in the rebuilt map
 };
 
 /// \brief The Firmware layer of Figure 2: page-mapped FTL with a DRAM
@@ -107,6 +130,30 @@ class Ftl {
   const FtlStats& stats() const { return stats_; }
   uint64_t dirty_pages() const { return dirty_count_; }
   uint64_t free_blocks() const { return allocator_.free_blocks(); }
+  const PageMap& page_map() const { return map_; }
+  const BlockAllocator& allocator() const { return allocator_; }
+  const WearTracker& wear() const { return wear_; }
+
+  /// \brief Reconstruct the logical→physical map from the per-page OOB
+  /// records alone — the power-loss recovery path.
+  ///
+  /// Scans every page of every block (grown-bad blocks stay readable) and
+  /// keeps, per lpn, the copy with the highest logical version `seq`,
+  /// breaking ties on the physical program counter `stamp` (a GC-relocated
+  /// copy carries its victim's seq but a fresher stamp, so the relocation
+  /// destination wins over the not-yet-erased source). The result equals
+  /// the live map (PageMap::operator==) at any quiesced point, with one
+  /// documented exception: TRIM is not crash-persistent — an unmapped lpn
+  /// whose flash copy still exists is resurrected.
+  PageMap RebuildFromOob(RebuildReport* report = nullptr) const;
+
+  /// Arm fault hooks. GC visits crash points `<prefix>ftl.gc.relocate`
+  /// (before each relocation program) and `<prefix>ftl.gc.erase` (before
+  /// the victim erase); after any crash clause fires the FTL stops
+  /// initiating background work (GC, writeback) so the mid-GC state is
+  /// frozen for recovery, while already-issued NAND operations complete.
+  void SetFaultInjector(fault::FaultInjector* injector,
+                        const std::string& site_prefix = "");
 
   /// Register this FTL's metrics under `prefix` + "ftl." (also wires the
   /// channel scheduler under `prefix` + "ftl.sched.").
@@ -121,16 +168,24 @@ class Ftl {
  private:
   struct BufferSlot {
     std::vector<uint8_t> data;
+    uint64_t seq = 0;  ///< logical version of the buffered copy
     bool dirty = false;
     bool flushing = false;
     std::list<uint64_t>::iterator lru_pos;
   };
 
   /// Program `data` for `lpn` via `stream`, retrying on grown-bad blocks
-  /// up to config_.max_program_retries times.
+  /// up to config_.max_program_retries times. `seq` is the logical write
+  /// version carried in the OOB; each physical attempt gets a fresh stamp.
+  /// `src_ppn == kUnmapped` maps through PageMap::Map (host/destage write);
+  /// otherwise the program is a GC relocation applied via MapRelocated.
   void ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
-                   uint64_t lpn, std::vector<uint8_t> data,
-                   WriteCallback done, uint32_t attempts = 0);
+                   uint64_t lpn, uint64_t seq, uint64_t src_ppn,
+                   std::vector<uint8_t> data, WriteCallback done,
+                   uint32_t attempts = 0);
+
+  /// True after a crash clause fired: stop initiating background work.
+  bool Halted() const;
 
   /// Kick background flushing if the dirty count warrants it.
   void MaybeScheduleFlush();
@@ -138,7 +193,9 @@ class Ftl {
   /// could be started.
   bool FlushOne();
   /// Admit a buffered write or queue it when the buffer is saturated.
-  void AdmitWrite(uint64_t lpn, std::vector<uint8_t> data,
+  /// `seq` was assigned at accept time; a queued write that gets lapped by
+  /// a newer in-buffer write for the same lpn is superseded on admission.
+  void AdmitWrite(uint64_t lpn, uint64_t seq, std::vector<uint8_t> data,
                   WriteCallback done);
   void DrainAdmissionQueue();
   /// Resolve Flush() waiters whose target has been reached.
@@ -151,8 +208,12 @@ class Ftl {
   void TouchLru(uint64_t lpn);
   void EvictIfNeeded();
 
-  /// Refresh the dirty-page / free-block gauges (no-op before SetMetrics).
+  /// Refresh the dirty-page / free-block / write-amp gauges (no-op before
+  /// SetMetrics).
   void UpdateGauges();
+  /// Refresh the erase-count min/max/spread gauges. Linear in block count,
+  /// so only called when an erase count actually changed.
+  void UpdateWearGauges();
 
   sim::Simulator* sim_;
   flash::Array* array_;
@@ -160,6 +221,7 @@ class Ftl {
   Scheduler scheduler_;
   PageMap map_;
   BlockAllocator allocator_;
+  WearTracker wear_;
   sim::BandwidthServer buffer_port_;
 
   std::unordered_map<uint64_t, BufferSlot> buffer_;  // lpn -> slot
@@ -176,13 +238,23 @@ class Ftl {
 
   struct AdmissionWaiter {
     uint64_t lpn;
+    uint64_t seq;
     std::vector<uint8_t> data;
     WriteCallback done;
   };
   std::deque<AdmissionWaiter> admission_queue_;
 
   bool gc_running_ = false;
+  /// In-flight NAND programs per block. A block is sealed when its last
+  /// page is *allocated*, not when it is programmed, so a sealed block can
+  /// still have programs in flight; GC must not pick such a block — the
+  /// late completion would map a live page into an erased block.
+  std::vector<uint32_t> inflight_programs_;
+  uint64_t next_seq_ = 1;    ///< logical write versions (0 = never written)
+  uint64_t next_stamp_ = 0;  ///< physical program counter (pre-incremented)
   FtlStats stats_;
+  fault::FaultInjector* injector_ = nullptr;
+  std::string site_prefix_;
   obs::SpanRecorder* spans_ = nullptr;
   uint16_t span_node_ = 0;
 
@@ -195,6 +267,10 @@ class Ftl {
   obs::Counter* m_bad_block_retires_ = nullptr;
   obs::Gauge* m_dirty_pages_ = nullptr;
   obs::Gauge* m_free_blocks_ = nullptr;
+  obs::Gauge* m_write_amp_ = nullptr;
+  obs::Gauge* m_erase_min_ = nullptr;
+  obs::Gauge* m_erase_max_ = nullptr;
+  obs::Gauge* m_erase_spread_ = nullptr;
 };
 
 }  // namespace xssd::ftl

@@ -10,11 +10,13 @@ PageMap::PageMap(const flash::Geometry& geometry, uint64_t lpn_count)
     : geometry_(geometry),
       l2p_(lpn_count, kUnmapped),
       p2l_(geometry.pages(), kUnmapped),
-      valid_count_(geometry.blocks(), 0) {}
+      valid_count_(geometry.blocks(), 0),
+      seq_(lpn_count, 0) {}
 
-void PageMap::Map(uint64_t lpn, uint64_t ppn) {
+bool PageMap::Map(uint64_t lpn, uint64_t ppn, uint64_t seq) {
   XSSD_CHECK(lpn < l2p_.size());
   XSSD_CHECK(ppn < p2l_.size());
+  if (seq < seq_[lpn]) return false;  // stale version lost the program race
   uint64_t old_ppn = l2p_[lpn];
   if (old_ppn != kUnmapped) {
     p2l_[old_ppn] = kUnmapped;
@@ -23,8 +25,22 @@ void PageMap::Map(uint64_t lpn, uint64_t ppn) {
   }
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
+  seq_[lpn] = seq;
   ++valid_count_[ppn / geometry_.pages_per_block];
   ++mapped_;
+  return true;
+}
+
+bool PageMap::MapRelocated(uint64_t lpn, uint64_t src_ppn, uint64_t dst_ppn) {
+  XSSD_CHECK(lpn < l2p_.size());
+  XSSD_CHECK(dst_ppn < p2l_.size());
+  if (l2p_[lpn] != src_ppn) return false;  // superseded mid-relocation
+  p2l_[src_ppn] = kUnmapped;
+  --valid_count_[src_ppn / geometry_.pages_per_block];
+  l2p_[lpn] = dst_ppn;
+  p2l_[dst_ppn] = lpn;
+  ++valid_count_[dst_ppn / geometry_.pages_per_block];
+  return true;
 }
 
 void PageMap::Unmap(uint64_t lpn) {
@@ -83,6 +99,7 @@ Result<flash::Address> BlockAllocator::AllocatePage(Stream stream) {
     WritePoint& wp = points_[stream][die];
     if (wp.block_index == kUnmapped) {
       if (free_per_die_[die].empty()) continue;
+      if (stream != kGcStream && free_count_ <= gc_reserve_) continue;
       wp.block_index = free_per_die_[die].front();
       free_per_die_[die].pop_front();
       --free_count_;

@@ -12,26 +12,47 @@ namespace xssd::ftl {
 
 inline constexpr uint64_t kUnmapped = ~0ull;
 
-/// \brief Page-level logical→physical mapping with reverse map and
-/// per-block valid-page counts (the GC victim-selection signal).
+/// \brief Page-level logical→physical mapping with reverse map, per-block
+/// valid-page counts (the GC victim-selection signal), and a per-lpn write
+/// sequence that makes concurrent program completions race-free: a stale
+/// program (an older version whose NAND completion lost the race, or a GC
+/// copy of data the host re-wrote mid-relocation) is rejected at map time
+/// and its physical page is garbage on arrival.
 class PageMap {
  public:
   PageMap(const flash::Geometry& geometry, uint64_t lpn_count);
 
   uint64_t lpn_count() const { return l2p_.size(); }
 
+  const flash::Geometry& geometry() const { return geometry_; }
+
   /// Physical page currently backing `lpn`, or kUnmapped.
   uint64_t Lookup(uint64_t lpn) const { return l2p_[lpn]; }
 
-  /// Point `lpn` at physical page `ppn`; the previous mapping (if any)
-  /// becomes invalid and its block's valid count drops.
-  void Map(uint64_t lpn, uint64_t ppn);
+  /// Point `lpn` at physical page `ppn` carrying logical version `seq`.
+  /// Applies only when `seq` is at least the lpn's current version —
+  /// program completions may arrive out of write order (different dies
+  /// finish at different times) and an older version must never shadow a
+  /// newer one. Returns whether the mapping was applied; when it was not,
+  /// `ppn` stays invalid (garbage for the next GC pass).
+  bool Map(uint64_t lpn, uint64_t ppn, uint64_t seq);
 
-  /// Drop the mapping for `lpn` (TRIM).
+  /// GC relocation: move `lpn`'s mapping from `src_ppn` to `dst_ppn`
+  /// without changing its logical version. Applies only while the live
+  /// mapping still points at `src_ppn`; if the host re-wrote the lpn while
+  /// the relocation was in flight, the copy is dead on arrival and false is
+  /// returned.
+  bool MapRelocated(uint64_t lpn, uint64_t src_ppn, uint64_t dst_ppn);
+
+  /// Drop the mapping for `lpn` (TRIM). The lpn's seq floor is kept so a
+  /// later rewrite still outranks stale flash copies.
   void Unmap(uint64_t lpn);
 
   /// Logical page stored at physical page `ppn`, or kUnmapped if invalid.
   uint64_t ReverseLookup(uint64_t ppn) const { return p2l_[ppn]; }
+
+  /// Logical version currently mapped (or last mapped) for `lpn`.
+  uint64_t SeqOf(uint64_t lpn) const { return seq_[lpn]; }
 
   /// Valid (still-mapped) pages in physical block `block_index`.
   uint32_t ValidCount(uint64_t block_index) const {
@@ -43,11 +64,21 @@ class PageMap {
 
   uint64_t mapped_pages() const { return mapped_; }
 
+  /// Full-state equality: l2p, p2l, valid counts, per-lpn seqs and the
+  /// mapped total. This is the oracle `RebuildFromOob` is diffed against —
+  /// "byte-identical" recovery means operator== holds.
+  friend bool operator==(const PageMap& a, const PageMap& b) {
+    return a.l2p_ == b.l2p_ && a.p2l_ == b.p2l_ &&
+           a.valid_count_ == b.valid_count_ && a.seq_ == b.seq_ &&
+           a.mapped_ == b.mapped_;
+  }
+
  private:
   flash::Geometry geometry_;
   std::vector<uint64_t> l2p_;
   std::vector<uint64_t> p2l_;
   std::vector<uint32_t> valid_count_;
+  std::vector<uint64_t> seq_;
   uint64_t mapped_ = 0;
 };
 
@@ -73,6 +104,13 @@ class BlockAllocator {
   /// Next page to program for `stream`; advances the write point. Returns
   /// kResourceExhausted when no erased block is available (caller must GC).
   Result<flash::Address> AllocatePage(Stream stream);
+
+  /// Erased blocks held back for the GC stream: non-GC streams cannot open
+  /// a fresh block while free_blocks() is at or below the reserve. Without
+  /// it host streams can drain the last erased blocks and deadlock GC —
+  /// the relocation program waits for a free page, which waits for the
+  /// victim erase, which waits for the relocation.
+  void set_gc_reserve(uint64_t blocks) { gc_reserve_ = blocks; }
 
   /// Return an erased block to the pool.
   void Release(uint64_t block_index);
@@ -107,6 +145,7 @@ class BlockAllocator {
   std::vector<uint32_t> cursor_;  // per-stream round-robin die cursor
   uint64_t free_count_ = 0;
   uint64_t bad_count_ = 0;
+  uint64_t gc_reserve_ = 0;
 };
 
 }  // namespace xssd::ftl

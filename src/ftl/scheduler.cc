@@ -32,11 +32,14 @@ void Scheduler::SetMetrics(obs::MetricsRegistry* registry,
       registry->GetCounter(prefix + "ftl.sched.destage.completed_bytes");
   m_queued_[0] = registry->GetGauge(prefix + "ftl.sched.conv.queued");
   m_queued_[1] = registry->GetGauge(prefix + "ftl.sched.destage.queued");
+  m_wait_ns_[0] = registry->GetCounter(prefix + "ftl.sched.conv.wait_ns");
+  m_wait_ns_[1] = registry->GetCounter(prefix + "ftl.sched.destage.wait_ns");
   m_inflight_ = registry->GetGauge(prefix + "ftl.sched.inflight");
 }
 
 void Scheduler::Enqueue(uint32_t channel, Op op) {
   op.seq = next_seq_++;
+  op.enqueued = sim_->Now();
   int k = static_cast<int>(op.io_class);
   queued_[k]++;
   if (m_queued_[k]) m_queued_[k]->Set(static_cast<double>(queued_[k]));
@@ -92,9 +95,13 @@ void Scheduler::Issue(uint32_t channel, int io_class, size_t index) {
   state.queue[io_class].erase(state.queue[io_class].begin() + index);
   queued_[io_class]--;
   ++inflight_;
+  ++issued_[io_class];
+  uint64_t waited = static_cast<uint64_t>(sim_->Now() - op.enqueued);
+  wait_ns_[io_class] += waited;
   if (m_queued_[io_class]) {
     m_queued_[io_class]->Set(static_cast<double>(queued_[io_class]));
   }
+  if (m_wait_ns_[io_class]) m_wait_ns_[io_class]->Add(waited);
   if (m_issued_[io_class]) m_issued_[io_class]->Add();
   if (m_inflight_) m_inflight_->Set(static_cast<double>(inflight_));
   if (op.uses_bus) state.bus_busy = true;
@@ -118,17 +125,17 @@ void Scheduler::Issue(uint32_t channel, int io_class, size_t index) {
 }
 
 void Scheduler::Program(IoClass io_class, const flash::Address& addr,
-                        std::vector<uint8_t> data,
+                        std::vector<uint8_t> data, std::vector<uint8_t> oob,
                         flash::Array::ProgramCallback done) {
   Op op;
   op.io_class = io_class;
   op.die = addr.die;
   op.bytes = array_->geometry().page_bytes;
   op.uses_bus = true;
-  op.run = [this, addr, data = std::move(data), done = std::move(done)](
-               std::function<void()> bus_released,
-               std::function<void()> completed) mutable {
-    array_->Program(addr, std::move(data),
+  op.run = [this, addr, data = std::move(data), oob = std::move(oob),
+            done = std::move(done)](std::function<void()> bus_released,
+                                    std::function<void()> completed) mutable {
+    array_->Program(addr, std::move(data), std::move(oob),
                     [completed = std::move(completed),
                      done = std::move(done)](Status status) mutable {
                       completed();

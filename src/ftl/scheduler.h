@@ -53,8 +53,14 @@ class Scheduler {
   SchedulingPolicy policy() const { return policy_; }
 
   /// Enqueue operations; completion callbacks fire when the array finishes.
+  /// `oob` rides along with the page data and is stored in the spare area.
   void Program(IoClass io_class, const flash::Address& addr,
-               std::vector<uint8_t> data, flash::Array::ProgramCallback done);
+               std::vector<uint8_t> data, std::vector<uint8_t> oob,
+               flash::Array::ProgramCallback done);
+  void Program(IoClass io_class, const flash::Address& addr,
+               std::vector<uint8_t> data, flash::Array::ProgramCallback done) {
+    Program(io_class, addr, std::move(data), {}, std::move(done));
+  }
   void Read(IoClass io_class, const flash::Address& addr,
             flash::Array::ReadCallback done);
   void Erase(IoClass io_class, const flash::Address& addr,
@@ -70,7 +76,23 @@ class Scheduler {
   uint64_t completed_bytes(IoClass io_class) const {
     return completed_bytes_[static_cast<int>(io_class)];
   }
-  void ResetStats() { completed_bytes_[0] = completed_bytes_[1] = 0; }
+
+  /// Cumulative queue-wait (enqueue → issue) per class, in sim ns. The
+  /// per-class skew is the channel-contention signal: GC relocation
+  /// traffic rides the conventional queue, so a GC storm shows up as
+  /// destage wait growing while conventional stays flat (or vice versa,
+  /// depending on policy).
+  uint64_t wait_ns(IoClass io_class) const {
+    return wait_ns_[static_cast<int>(io_class)];
+  }
+  uint64_t issued(IoClass io_class) const {
+    return issued_[static_cast<int>(io_class)];
+  }
+  void ResetStats() {
+    completed_bytes_[0] = completed_bytes_[1] = 0;
+    wait_ns_[0] = wait_ns_[1] = 0;
+    issued_[0] = issued_[1] = 0;
+  }
 
   /// Register this scheduler's metrics under `prefix` + "ftl.sched.".
   void SetMetrics(obs::MetricsRegistry* registry,
@@ -82,6 +104,7 @@ class Scheduler {
     uint32_t die;        ///< die index within the channel
     uint64_t seq;        ///< global arrival order (Neutral policy)
     uint64_t bytes;
+    sim::SimTime enqueued = 0;  ///< arrival time, for wait accounting
     bool uses_bus;       ///< programs hold the bus for their transfer
     /// run(bus_released, completed)
     std::function<void(std::function<void()>, std::function<void()>)> run;
@@ -112,10 +135,13 @@ class Scheduler {
   uint64_t inflight_ = 0;
   uint64_t queued_[2] = {0, 0};
   uint64_t completed_bytes_[2] = {0, 0};
+  uint64_t wait_ns_[2] = {0, 0};
+  uint64_t issued_[2] = {0, 0};
 
   // Observability (null until SetMetrics; indexed by IoClass).
   obs::Counter* m_issued_[2] = {nullptr, nullptr};
   obs::Counter* m_completed_bytes_[2] = {nullptr, nullptr};
+  obs::Counter* m_wait_ns_[2] = {nullptr, nullptr};
   obs::Gauge* m_queued_[2] = {nullptr, nullptr};
   obs::Gauge* m_inflight_ = nullptr;
 };

@@ -1,0 +1,72 @@
+#ifndef XSSD_FTL_WEAR_H_
+#define XSSD_FTL_WEAR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ftl/mapping.h"
+
+namespace xssd::ftl {
+
+/// \brief Per-block program/erase cycle accounting, the wear-leveling
+/// signal for GC victim selection.
+///
+/// Tracks the FTL's own view of erase counts (mirroring the NAND's), plus
+/// the min/max over live (non-retired) blocks; `spread()` is the headline
+/// wear-imbalance number the victim selector bounds.
+class WearTracker {
+ public:
+  explicit WearTracker(uint64_t block_count)
+      : counts_(block_count, 0), retired_(block_count, false) {}
+
+  void OnErase(uint64_t block) { ++counts_[block]; }
+
+  /// Grown-bad block: excluded from min/max/spread from now on.
+  void Retire(uint64_t block) { retired_[block] = true; }
+
+  uint32_t count(uint64_t block) const { return counts_[block]; }
+  bool retired(uint64_t block) const { return retired_[block]; }
+
+  /// Min/max erase count over live blocks (0 when everything is retired).
+  uint32_t MinCount() const;
+  uint32_t MaxCount() const;
+  uint32_t Spread() const { return MaxCount() - MinCount(); }
+
+ private:
+  std::vector<uint32_t> counts_;
+  std::vector<bool> retired_;
+};
+
+/// Knobs for wear-aware victim selection.
+struct GcTuning {
+  /// Blend weight: one erase above the pool minimum costs as much as this
+  /// many extra valid pages to relocate. 0 degenerates to pure greedy.
+  double wear_alpha = 2.0;
+  /// Hard bound on erase-count spread: once Spread() reaches this, victim
+  /// selection switches to cold-data migration (collect the least-worn
+  /// sealed block so its block rejoins the hot pool) until the spread
+  /// recedes.
+  uint32_t max_erase_spread = 16;
+};
+
+/// \brief Pick a GC victim from `sealed` (oldest-first candidate list).
+///
+/// Normal mode minimizes `valid_count + wear_alpha * (erase - min_erase)` —
+/// greedy on relocation cost, penalizing blocks that are already worn. The
+/// penalty saturates just below one block of relocation cost
+/// (pages_per_block - 1), so wear bias can steer among comparable victims
+/// but never makes a garbage-holding block lose to a garbage-free one.
+/// Wear-emergency mode (spread at/above the bound) instead picks the
+/// least-worn sealed block regardless of valid count: its cold, never-
+/// invalidated data is what pins the spread, and migrating it returns the
+/// young block to the erased pool where hot writes level it. Ties break to
+/// the earliest (oldest) sealed entry, keeping selection deterministic.
+/// Returns kUnmapped when `sealed` is empty.
+uint64_t SelectGcVictim(const std::deque<uint64_t>& sealed,
+                        const PageMap& map, const WearTracker& wear,
+                        const GcTuning& tuning);
+
+}  // namespace xssd::ftl
+
+#endif  // XSSD_FTL_WEAR_H_

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "check/mapping_oracle.h"
+#include "ftl/ftl.h"
+#include "ftl/mapping.h"
+#include "sim/random.h"
+
+namespace xssd::ftl {
+namespace {
+
+flash::Geometry SmallGeometry() {
+  flash::Geometry g;
+  g.channels = 2;
+  g.dies_per_channel = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 8;
+  g.page_bytes = 4096;
+  return g;
+}
+
+// Minimal write-point discipline for driving a bare PageMap the way the
+// allocator would: each physical page is programmed at most once per erase
+// cycle, blocks recycle only when empty.
+struct FakeFlash {
+  explicit FakeFlash(const flash::Geometry& g) : geometry(g) {
+    for (uint64_t b = 0; b < g.blocks(); ++b) free_blocks.push_back(b);
+  }
+
+  // Next programmable ppn, opening a fresh block when needed.
+  uint64_t AllocatePpn() {
+    if (open_block == kUnmapped) {
+      if (free_blocks.empty()) return kUnmapped;
+      open_block = free_blocks.front();
+      free_blocks.pop_front();
+      next_page = 0;
+    }
+    uint64_t ppn = open_block * geometry.pages_per_block + next_page;
+    if (++next_page == geometry.pages_per_block) {
+      full_blocks.push_back(open_block);
+      open_block = kUnmapped;
+    }
+    return ppn;
+  }
+
+  flash::Geometry geometry;
+  std::deque<uint64_t> free_blocks;
+  std::vector<uint64_t> full_blocks;
+  uint64_t open_block = kUnmapped;
+  uint32_t next_page = 0;
+};
+
+// Random Map / stale-Map / Unmap / OnBlockErased churn, cross-checked
+// against a shadow model and the structural oracle after every step.
+TEST(MappingProperty, RandomOpsStayConsistent) {
+  const flash::Geometry geometry = SmallGeometry();
+  const uint64_t lpn_count = 96;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Rng rng(seed);
+    PageMap map(geometry, lpn_count);
+    FakeFlash flash(geometry);
+    struct ShadowEntry {
+      uint64_t ppn;
+      uint64_t seq;
+    };
+    std::unordered_map<uint64_t, ShadowEntry> shadow;
+    uint64_t next_seq = 1;
+
+    for (int step = 0; step < 1500; ++step) {
+      uint64_t dice = rng.Uniform(100);
+      if (dice < 55) {
+        // Host write: fresh version to a fresh physical page.
+        uint64_t lpn = rng.Uniform(lpn_count);
+        uint64_t ppn = flash.AllocatePpn();
+        if (ppn == kUnmapped) continue;  // out of space this round
+        uint64_t seq = next_seq++;
+        ASSERT_TRUE(map.Map(lpn, ppn, seq));
+        shadow[lpn] = ShadowEntry{ppn, seq};
+      } else if (dice < 65) {
+        // A program completion that lost the race: older seq must bounce.
+        uint64_t lpn = rng.Uniform(lpn_count);
+        auto it = shadow.find(lpn);
+        if (it == shadow.end() || it->second.seq == 0) continue;
+        uint64_t ppn = flash.AllocatePpn();
+        if (ppn == kUnmapped) continue;
+        EXPECT_FALSE(map.Map(lpn, ppn, it->second.seq - 1));
+      } else if (dice < 80) {
+        // TRIM.
+        uint64_t lpn = rng.Uniform(lpn_count);
+        map.Unmap(lpn);
+        shadow.erase(lpn);
+      } else {
+        // Erase a full block that holds no valid data.
+        for (size_t i = 0; i < flash.full_blocks.size(); ++i) {
+          uint64_t block = flash.full_blocks[i];
+          if (map.ValidCount(block) != 0) continue;
+          map.OnBlockErased(block);
+          flash.full_blocks.erase(flash.full_blocks.begin() +
+                                  static_cast<long>(i));
+          flash.free_blocks.push_back(block);
+          break;
+        }
+      }
+
+      std::vector<check::Divergence> divergences =
+          check::CheckMappingConsistent(map, geometry);
+      ASSERT_TRUE(divergences.empty())
+          << "seed " << seed << " step " << step << ": "
+          << divergences[0].rule << " — " << divergences[0].detail;
+      ASSERT_EQ(map.mapped_pages(), shadow.size());
+      for (const auto& [lpn, entry] : shadow) {
+        ASSERT_EQ(map.Lookup(lpn), entry.ppn) << "lpn " << lpn;
+        ASSERT_EQ(map.SeqOf(lpn), entry.seq) << "lpn " << lpn;
+      }
+    }
+  }
+}
+
+// Differential recovery property: at arbitrary quiesced points of a random
+// buffered/direct write workload — GC storms included — RebuildFromOob()
+// must reproduce the live map exactly. No Flush required: a dirty page that
+// never reached NAND is absent from both maps.
+TEST(MappingProperty, RebuildMatchesLiveMapAtArbitraryStopPoints) {
+  for (uint64_t seed = 11; seed <= 13; ++seed) {
+    sim::Simulator sim;
+    flash::Array array(&sim, SmallGeometry(), flash::Timing{},
+                       flash::Reliability{}, seed);
+    FtlConfig config;
+    config.buffer_pages = 16;
+    config.flush_watermark = 4;
+    config.gc_low_watermark = 4;
+    Ftl ftl(&sim, &array, config);
+    sim::Rng rng(seed);
+
+    for (int step = 0; step < 900; ++step) {
+      uint64_t lpn = rng.Uniform(48);  // small working set → heavy churn
+      uint8_t fill = static_cast<uint8_t>(rng.Next());
+      if (rng.Uniform(4) == 0) {
+        ftl.WriteDirect(IoClass::kDestage, lpn,
+                        std::vector<uint8_t>(4096, fill), [](Status) {});
+      } else {
+        ftl.WriteBuffered(lpn, std::vector<uint8_t>(4096, fill),
+                          [](Status) {});
+      }
+      if (step % 100 == 99) {
+        sim.Run();  // quiesce: drain programs, GC passes, writeback
+        std::vector<check::Divergence> divergences =
+            check::CheckRebuildMatches(ftl, array.geometry());
+        ASSERT_TRUE(divergences.empty())
+            << "seed " << seed << " step " << step << ": "
+            << divergences[0].rule << " — " << divergences[0].detail;
+      }
+    }
+  }
+}
+
+// An untouched device rebuilds to an empty map.
+TEST(MappingProperty, RebuildOnPristineDeviceIsEmpty) {
+  sim::Simulator sim;
+  flash::Array array(&sim, SmallGeometry(), flash::Timing{},
+                     flash::Reliability{}, 1);
+  Ftl ftl(&sim, &array, FtlConfig{});
+  RebuildReport report;
+  PageMap rebuilt = ftl.RebuildFromOob(&report);
+  EXPECT_EQ(report.pages_scanned, 0u);
+  EXPECT_EQ(report.mapped, 0u);
+  EXPECT_TRUE(rebuilt == ftl.page_map());
+}
+
+}  // namespace
+}  // namespace xssd::ftl

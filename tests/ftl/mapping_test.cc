@@ -27,17 +27,18 @@ TEST(PageMap, InitiallyUnmapped) {
 
 TEST(PageMap, MapAndLookup) {
   PageMap map(SmallGeometry(), 64);
-  map.Map(5, 40);
+  EXPECT_TRUE(map.Map(5, 40, 1));
   EXPECT_EQ(map.Lookup(5), 40u);
   EXPECT_EQ(map.ReverseLookup(40), 5u);
   EXPECT_EQ(map.mapped_pages(), 1u);
   EXPECT_EQ(map.ValidCount(40 / 8), 1u);
+  EXPECT_EQ(map.SeqOf(5), 1u);
 }
 
 TEST(PageMap, RemapInvalidatesOldPhysicalPage) {
   PageMap map(SmallGeometry(), 64);
-  map.Map(5, 40);
-  map.Map(5, 90);
+  EXPECT_TRUE(map.Map(5, 40, 1));
+  EXPECT_TRUE(map.Map(5, 90, 2));
   EXPECT_EQ(map.Lookup(5), 90u);
   EXPECT_EQ(map.ReverseLookup(40), kUnmapped);
   EXPECT_EQ(map.ValidCount(40 / 8), 0u);
@@ -45,22 +46,72 @@ TEST(PageMap, RemapInvalidatesOldPhysicalPage) {
   EXPECT_EQ(map.mapped_pages(), 1u);
 }
 
+TEST(PageMap, StaleSeqIsRejected) {
+  PageMap map(SmallGeometry(), 64);
+  EXPECT_TRUE(map.Map(5, 90, 7));
+  // An older version whose program completion lost the race must not
+  // shadow the newer mapping.
+  EXPECT_FALSE(map.Map(5, 40, 3));
+  EXPECT_EQ(map.Lookup(5), 90u);
+  EXPECT_EQ(map.SeqOf(5), 7u);
+  EXPECT_EQ(map.ReverseLookup(40), kUnmapped);
+  EXPECT_EQ(map.ValidCount(40 / 8), 0u);
+}
+
+TEST(PageMap, MapRelocatedMovesWithoutSeqChange) {
+  PageMap map(SmallGeometry(), 64);
+  EXPECT_TRUE(map.Map(5, 40, 6));
+  EXPECT_TRUE(map.MapRelocated(5, 40, 90));
+  EXPECT_EQ(map.Lookup(5), 90u);
+  EXPECT_EQ(map.SeqOf(5), 6u);
+  EXPECT_EQ(map.ReverseLookup(40), kUnmapped);
+  EXPECT_EQ(map.ValidCount(40 / 8), 0u);
+  EXPECT_EQ(map.ValidCount(90 / 8), 1u);
+  EXPECT_EQ(map.mapped_pages(), 1u);
+}
+
+TEST(PageMap, MapRelocatedDeadOnArrivalWhenSuperseded) {
+  PageMap map(SmallGeometry(), 64);
+  EXPECT_TRUE(map.Map(5, 40, 6));
+  // Host rewrote the lpn while GC's copy was in flight.
+  EXPECT_TRUE(map.Map(5, 50, 7));
+  EXPECT_FALSE(map.MapRelocated(5, 40, 90));
+  EXPECT_EQ(map.Lookup(5), 50u);
+  EXPECT_EQ(map.ReverseLookup(90), kUnmapped);
+  EXPECT_EQ(map.ValidCount(90 / 8), 0u);
+}
+
 TEST(PageMap, UnmapTrims) {
   PageMap map(SmallGeometry(), 64);
-  map.Map(7, 41);
+  EXPECT_TRUE(map.Map(7, 41, 4));
   map.Unmap(7);
   EXPECT_EQ(map.Lookup(7), kUnmapped);
   EXPECT_EQ(map.ReverseLookup(41), kUnmapped);
   EXPECT_EQ(map.ValidCount(41 / 8), 0u);
-  map.Unmap(7);  // idempotent
+  EXPECT_EQ(map.SeqOf(7), 4u);  // seq floor survives the trim
+  map.Unmap(7);                 // idempotent
 }
 
 TEST(PageMap, OnBlockErasedClearsReverseEntries) {
   PageMap map(SmallGeometry(), 64);
-  map.Map(1, 8);   // block 1, page 0
-  map.Map(1, 20);  // relocated to block 2; block 1 entry stale
+  EXPECT_TRUE(map.Map(1, 8, 1));   // block 1, page 0
+  EXPECT_TRUE(map.Map(1, 20, 2));  // relocated to block 2; block 1 stale
   map.OnBlockErased(1);
   EXPECT_EQ(map.Lookup(1), 20u);  // forward map untouched
+}
+
+TEST(PageMap, EqualityCoversSeqState) {
+  PageMap a(SmallGeometry(), 64);
+  PageMap b(SmallGeometry(), 64);
+  EXPECT_TRUE(a == b);
+  a.Map(3, 17, 5);
+  EXPECT_FALSE(a == b);
+  b.Map(3, 17, 5);
+  EXPECT_TRUE(a == b);
+  // Same physical layout, different version history: not equal.
+  a.Map(4, 18, 9);
+  b.Map(4, 18, 8);
+  EXPECT_FALSE(a == b);
 }
 
 TEST(BlockAllocator, AllPagesAllocatableExactlyOnce) {
