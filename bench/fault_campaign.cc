@@ -58,6 +58,15 @@ constexpr EmbeddedPlan kEmbeddedPlans[] = {
         {"kind": "crash", "site": "destage.emit_page", "after_hits": 4}
       ]
     })"},
+    {"retention-stress", R"({
+      "name": "retention-stress",
+      "faults": [
+        {"kind": "flash.retention", "at_us": 0, "duration_us": 2000000,
+         "probability": 0.3, "delay_us": 3000000},
+        {"kind": "flash.disturb", "at_us": 0, "duration_us": 2000000,
+         "probability": 0.5, "magnitude": 2000}
+      ]
+    })"},
 };
 
 Result<fault::FaultPlan> ResolvePlan(const std::string& arg) {
@@ -69,7 +78,8 @@ Result<fault::FaultPlan> ResolvePlan(const std::string& arg) {
 
 uint64_t TotalInjected(const fault::FaultInjector::Totals& t) {
   return t.flash_program_fails + t.flash_erase_fails +
-         t.flash_read_uncorrectable + t.ntb_dropped + t.ntb_stalled +
+         t.flash_read_uncorrectable + t.flash_retention_boosts +
+         t.flash_disturb_boosts + t.ntb_dropped + t.ntb_stalled +
          t.pcie_delayed + t.pcie_truncated + t.nvme_timeouts + t.crashes;
 }
 
@@ -93,6 +103,16 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
   // retransmission and degraded-mode fallback armed.
   config.transport.retransmit_timeout = sim::Us(50);
   config.transport.degrade_timeout = sim::Us(300);
+  // A mild media model so retention/disturb boosts (retention-stress plan)
+  // actually move the sampled error count: organic decay over the
+  // campaign's few-ms span stays far below the ECC budget, while an
+  // injected 3 s dwell lands a handful of correctable errors per read.
+  config.reliability.raw_bit_error_rate = 1e-7;
+  config.reliability.ber_per_retention_sec = 1e-5;
+  config.reliability.ber_per_read_disturb = 1e-8;
+  config.reliability.ecc_correctable_bits = 24;
+  config.reliability.read_retry_levels = 4;
+  config.reliability.retry_ber_factor = 0.5;
   config.seed = seed;
 
   host::StorageNode primary(&sim, config, pcie::FabricConfig{}, "pri");

@@ -8,6 +8,7 @@
 #include "flash/timing.h"
 #include "ftl/ftl.h"
 #include "ftl/scheduler.h"
+#include "ftl/scrub.h"
 #include "sim/time.h"
 
 namespace xssd::core {
@@ -125,6 +126,8 @@ struct VillarsConfig {
   flash::Timing flash_timing;
   flash::Reliability reliability;
   ftl::FtlConfig ftl;
+  /// Patrol scrubber (off by default — see ScrubConfig::enabled).
+  ftl::ScrubConfig scrub;
   CmbConfig cmb;
   DestageConfig destage;
   TransportConfig transport;

@@ -22,6 +22,7 @@ void DestageModule::SetMetrics(obs::MetricsRegistry* registry,
   m_stream_bytes_ = registry->GetCounter(prefix + "destage.stream_bytes");
   m_write_failures_ = registry->GetCounter(prefix + "destage.write_failures");
   m_write_retries_ = registry->GetCounter(prefix + "destage.write_retries");
+  m_ring_trims_ = registry->GetCounter(prefix + "destage.ring_trims");
   m_inflight_ = registry->GetGauge(prefix + "destage.inflight");
   m_backlog_bytes_ = registry->GetGauge(prefix + "destage.backlog_bytes");
   m_page_latency_us_ =
@@ -128,6 +129,16 @@ void DestageModule::EmitPage(uint32_t len) {
   uint64_t end = destage_cursor_ + len;
   uint64_t lba = config_.ring_start_lba +
                  (next_sequence_ % config_.ring_lba_count);
+  if (next_sequence_ >= config_.ring_lba_count) {
+    // Ring wrap: the reused slot still maps the page written
+    // ring_lba_count sequences ago, long superseded in the stream. Trim it
+    // now so GC never wastes a relocation on a dead slot while the
+    // replacing write is in flight. (Recovery is unaffected: the chain
+    // walk stops at a stale sequence and at an unwritten page alike.)
+    ftl_->Trim(lba);
+    ++stats_.ring_trims;
+    if (m_ring_trims_) m_ring_trims_->Add();
+  }
   ++next_sequence_;
   destage_cursor_ = end;
   if (destage_cursor_ < std::min(credit_seen_, barrier_)) {

@@ -20,6 +20,7 @@ struct DestageStats {
   uint64_t filler_bytes = 0;
   uint64_t stream_bytes = 0;      ///< payload destaged
   uint64_t write_retries = 0;     ///< re-issues after a failed page write
+  uint64_t ring_trims = 0;        ///< wrapped slots invalidated before reuse
 };
 
 /// \brief The Destage module (paper §4.3): moves the PM ring's persisted
@@ -183,6 +184,7 @@ class DestageModule {
   obs::Counter* m_stream_bytes_ = nullptr;
   obs::Counter* m_write_failures_ = nullptr;
   obs::Counter* m_write_retries_ = nullptr;
+  obs::Counter* m_ring_trims_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Gauge* m_backlog_bytes_ = nullptr;
   obs::LatencyRecorder* m_page_latency_us_ = nullptr;

@@ -16,6 +16,10 @@ VillarsDevice::VillarsDevice(sim::Simulator* sim, pcie::PcieFabric* fabric,
                                           config_.reliability, config_.seed);
   ftl_ = std::make_unique<ftl::Ftl>(sim_, array_.get(), config_.ftl);
   ftl_->scheduler().set_policy(config_.scheduling);
+  scrubber_ = std::make_unique<ftl::PatrolScrubber>(sim_, ftl_.get(),
+                                                    array_.get(),
+                                                    config_.scrub);
+  scrubber_->Start();  // no-op unless config_.scrub.enabled
   controller_ = std::make_unique<nvme::Controller>(sim_, fabric_, ftl_.get(),
                                                    name_ + "/nvme");
   cmb_ = std::make_unique<CmbModule>(sim_, config_.cmb);
@@ -55,6 +59,7 @@ void VillarsDevice::EnableMetrics(obs::MetricsRegistry* registry,
   metrics_prefix_ = prefix;
   array_->SetMetrics(registry, prefix);
   ftl_->SetMetrics(registry, prefix);
+  scrubber_->SetMetrics(registry, prefix);
   controller_->SetMetrics(registry, prefix);
   cmb_->SetMetrics(registry, prefix);
   destage_->SetMetrics(registry, prefix);
@@ -288,6 +293,7 @@ void VillarsDevice::HandleVendorAdmin(
 void VillarsDevice::PowerFail(std::function<void()> done) {
   XSSD_LOG(kInfo) << name_ << ": POWER FAIL — emergency destage";
   halted_ = true;  // reject further host traffic immediately
+  scrubber_->Stop();
   // Freeze the background pump first so the emergency destage (below)
   // accounts every page against the supercap energy budget.
   destage_->set_frozen(true);
@@ -299,6 +305,7 @@ void VillarsDevice::PowerFail(std::function<void()> done) {
 void VillarsDevice::CrashHard() {
   XSSD_LOG(kWarning) << name_ << ": HARD CRASH — no supercap flush";
   halted_ = true;
+  scrubber_->Stop();
   // Order matters: halt the destage pipeline (cancelling any backed-off
   // write retries) before dropping staged chunks, so nothing schedules new
   // flash traffic against the dead device.
@@ -354,6 +361,9 @@ void VillarsDevice::Reboot() {
   // destages do not immediately overwrite recovery data. Recovery tooling
   // reads the ring before writing resumes.
   WireHooks();
+  // The scrubber survives the reboot (its per-block risk inputs live in
+  // the flash array, which persists); only the tick needs re-arming.
+  scrubber_->Start();
   // The transport module survives the reboot (term fence, role, peers),
   // but its credit view must follow the reset CMB: a rebooted secondary
   // advertising its pre-crash counter would make the primary skip the

@@ -12,6 +12,7 @@
 #include "core/transport_module.h"
 #include "flash/array.h"
 #include "ftl/ftl.h"
+#include "ftl/scrub.h"
 #include "nvme/controller.h"
 #include "pcie/fabric.h"
 
@@ -89,6 +90,9 @@ class VillarsDevice : public pcie::MmioDevice {
   DestageModule& destage() { return *destage_; }
   TransportModule& transport() { return *transport_; }
   ftl::Ftl& ftl() { return *ftl_; }
+  /// Patrol scrubber over this device's FTL (running only when
+  /// config.scrub.enabled; halted with the device, re-armed on Reboot).
+  ftl::PatrolScrubber& scrubber() { return *scrubber_; }
   flash::Array& flash_array() { return *array_; }
   nvme::Controller& controller() { return *controller_; }
   const VillarsConfig& config() const { return config_; }
@@ -137,6 +141,7 @@ class VillarsDevice : public pcie::MmioDevice {
 
   std::unique_ptr<flash::Array> array_;
   std::unique_ptr<ftl::Ftl> ftl_;
+  std::unique_ptr<ftl::PatrolScrubber> scrubber_;
   std::unique_ptr<nvme::Controller> controller_;
   std::unique_ptr<CmbModule> cmb_;
   std::unique_ptr<DestageModule> destage_;

@@ -14,6 +14,7 @@ void FaultInjector::SetMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     m_flash_program_fails_ = m_flash_erase_fails_ = nullptr;
     m_flash_read_uncorrectable_ = m_ntb_dropped_ = m_ntb_stalled_ = nullptr;
+    m_flash_retention_boosts_ = m_flash_disturb_boosts_ = nullptr;
     m_pcie_delayed_ = m_pcie_truncated_ = m_nvme_timeouts_ = nullptr;
     m_crashes_ = nullptr;
     return;
@@ -22,6 +23,10 @@ void FaultInjector::SetMetrics(obs::MetricsRegistry* registry) {
   m_flash_erase_fails_ = registry->GetCounter("fault.flash.erase_fails");
   m_flash_read_uncorrectable_ =
       registry->GetCounter("fault.flash.read_uncorrectable");
+  m_flash_retention_boosts_ =
+      registry->GetCounter("fault.flash.retention_boosts");
+  m_flash_disturb_boosts_ =
+      registry->GetCounter("fault.flash.disturb_boosts");
   m_ntb_dropped_ = registry->GetCounter("fault.ntb.dropped_writes");
   m_ntb_stalled_ = registry->GetCounter("fault.ntb.stalled_writes");
   m_pcie_delayed_ = registry->GetCounter("fault.pcie.delayed_stores");
@@ -69,6 +74,20 @@ bool FaultInjector::InjectFlashReadUncorrectable() {
   if (Match(FaultKind::kFlashReadUncorrectable) == nullptr) return false;
   Count(m_flash_read_uncorrectable_, &totals_.flash_read_uncorrectable);
   return true;
+}
+
+sim::SimTime FaultInjector::InjectFlashRetentionDwell() {
+  const FaultSpec* spec = Match(FaultKind::kFlashRetention);
+  if (spec == nullptr) return 0;
+  Count(m_flash_retention_boosts_, &totals_.flash_retention_boosts);
+  return spec->delay;
+}
+
+uint64_t FaultInjector::InjectFlashDisturbReads() {
+  const FaultSpec* spec = Match(FaultKind::kFlashDisturb);
+  if (spec == nullptr) return 0;
+  Count(m_flash_disturb_boosts_, &totals_.flash_disturb_boosts);
+  return static_cast<uint64_t>(spec->magnitude);
 }
 
 FaultInjector::NtbDecision FaultInjector::NtbForwardDecision() {

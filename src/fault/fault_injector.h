@@ -51,6 +51,12 @@ class FaultInjector {
   bool InjectFlashEraseFail();
   /// flash::Array::Read — true forces an uncorrectable (beyond-ECC) read.
   bool InjectFlashReadUncorrectable();
+  /// flash::Array read-BER sampling — extra retention dwell (virtual time)
+  /// added to the block's organic dwell; 0 when no clause is active.
+  sim::SimTime InjectFlashRetentionDwell();
+  /// flash::Array read-BER sampling — extra disturb-equivalent reads added
+  /// to the block's organic count; 0 when no clause is active.
+  uint64_t InjectFlashDisturbReads();
 
   /// ntb::NtbAdapter forwarding decision for one translated write.
   enum class LinkAction { kForward, kDrop, kStall };
@@ -86,6 +92,8 @@ class FaultInjector {
     uint64_t flash_program_fails = 0;
     uint64_t flash_erase_fails = 0;
     uint64_t flash_read_uncorrectable = 0;
+    uint64_t flash_retention_boosts = 0;
+    uint64_t flash_disturb_boosts = 0;
     uint64_t ntb_dropped = 0;
     uint64_t ntb_stalled = 0;
     uint64_t pcie_delayed = 0;
@@ -122,6 +130,8 @@ class FaultInjector {
   obs::Counter* m_flash_program_fails_ = nullptr;
   obs::Counter* m_flash_erase_fails_ = nullptr;
   obs::Counter* m_flash_read_uncorrectable_ = nullptr;
+  obs::Counter* m_flash_retention_boosts_ = nullptr;
+  obs::Counter* m_flash_disturb_boosts_ = nullptr;
   obs::Counter* m_ntb_dropped_ = nullptr;
   obs::Counter* m_ntb_stalled_ = nullptr;
   obs::Counter* m_pcie_delayed_ = nullptr;

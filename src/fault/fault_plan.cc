@@ -19,6 +19,8 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kFlashProgramFail, "flash.program_fail"},
     {FaultKind::kFlashEraseFail, "flash.erase_fail"},
     {FaultKind::kFlashReadUncorrectable, "flash.read_uncorrectable"},
+    {FaultKind::kFlashRetention, "flash.retention"},
+    {FaultKind::kFlashDisturb, "flash.disturb"},
     {FaultKind::kNtbLinkDown, "ntb.link_down"},
     {FaultKind::kNtbLinkStall, "ntb.link_stall"},
     {FaultKind::kPcieStoreDelay, "pcie.store_delay"},
@@ -96,6 +98,11 @@ Result<FaultPlan> ParseFaultPlan(std::string_view json) {
             auto t = TimeField(fval, ctx + ".delay_us");
             if (!t.ok()) return t.status();
             spec.delay = *t;
+          } else if (fkey == "magnitude") {
+            if (!fval.is_number() || fval.number < 0) {
+              return BadField(ctx, "magnitude must be a non-negative number");
+            }
+            spec.magnitude = fval.number;
           } else if (fkey == "probability") {
             if (!fval.is_number() || fval.number < 0 || fval.number > 1) {
               return BadField(ctx, "probability must be in [0, 1]");
@@ -149,13 +156,15 @@ FaultPlanBuilder::FaultPlanBuilder(std::string name) {
 FaultPlanBuilder& FaultPlanBuilder::Window(FaultKind kind, sim::SimTime at,
                                            sim::SimTime duration,
                                            double probability,
-                                           sim::SimTime delay) {
+                                           sim::SimTime delay,
+                                           double magnitude) {
   FaultSpec spec;
   spec.kind = kind;
   spec.at = at;
   spec.duration = duration;
   spec.probability = probability;
   spec.delay = delay;
+  spec.magnitude = magnitude;
   plan_.faults.push_back(std::move(spec));
   return *this;
 }

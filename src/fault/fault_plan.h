@@ -18,6 +18,8 @@ enum class FaultKind {
   kFlashProgramFail,      ///< NAND program op fails -> grown bad block
   kFlashEraseFail,        ///< NAND erase op fails -> grown bad block
   kFlashReadUncorrectable,///< read returns more bit errors than ECC corrects
+  kFlashRetention,        ///< reads see `delay` of extra retention dwell
+  kFlashDisturb,          ///< reads see `magnitude` extra disturb reads
   kNtbLinkDown,           ///< NTB drops forwarded TLPs (link flap)
   kNtbLinkStall,          ///< NTB delays forwarded TLPs by `delay`
   kPcieStoreDelay,        ///< MMIO stores arrive `delay` late
@@ -41,7 +43,8 @@ struct FaultSpec {
   sim::SimTime at = 0;               ///< window start (inclusive)
   sim::SimTime duration = kForever;  ///< window length; kForever = open-ended
   double probability = 1.0;          ///< chance a hook inside the window fires
-  sim::SimTime delay = 0;            ///< stall/delay/timeout magnitude
+  sim::SimTime delay = 0;            ///< stall/delay/timeout/dwell magnitude
+  double magnitude = 0.0;            ///< unitless boost (disturb read count)
   std::string site;                  ///< crash only: named crash site
   uint32_t after_hits = 1;           ///< crash only: fire on the Nth site hit
   bool graceful = true;              ///< crash only: supercap flush vs hard
@@ -93,10 +96,11 @@ class FaultPlanBuilder {
   explicit FaultPlanBuilder(std::string name);
 
   /// Add a windowed fault clause of `kind` active in [at, at + duration).
-  /// `delay` is the stall/timeout magnitude for the kinds that take one.
+  /// `delay` is the stall/timeout/dwell magnitude for the kinds that take
+  /// one; `magnitude` is the unitless boost (extra disturb reads).
   FaultPlanBuilder& Window(FaultKind kind, sim::SimTime at,
                            sim::SimTime duration, double probability = 1.0,
-                           sim::SimTime delay = 0);
+                           sim::SimTime delay = 0, double magnitude = 0.0);
 
   /// Add a crash clause firing on the `after_hits`-th visit of `site`.
   FaultPlanBuilder& Crash(std::string site, uint32_t after_hits,

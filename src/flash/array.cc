@@ -49,6 +49,9 @@ void Array::SetMetrics(obs::MetricsRegistry* registry,
       registry->GetCounter(prefix + "flash.corrected_bit_errors");
   m_uncorrectable_reads_ =
       registry->GetCounter(prefix + "flash.uncorrectable_reads");
+  m_read_retries_ = registry->GetCounter(prefix + "flash.read_retries");
+  m_retry_exhausted_ =
+      registry->GetCounter(prefix + "flash.retry_exhausted");
 }
 
 Array::Block& Array::BlockAt(const Address& addr) {
@@ -68,9 +71,35 @@ sim::SimTime Array::OccupyDie(Die& die, sim::SimTime earliest,
   return die.busy_until;
 }
 
-uint64_t Array::SampleBitErrors(const Block& block) {
+double Array::BaseBer(const Block& block) const {
   double ber = reliability_.raw_bit_error_rate +
                reliability_.ber_per_pe_cycle * block.erase_count;
+  // Retention dwell only applies to data: an erased block holds no charge
+  // to leak, so its clock starts at the first program (see Program).
+  if (reliability_.ber_per_retention_sec > 0 && block.next_page > 0 &&
+      sim_->Now() > block.programmed_at) {
+    ber += reliability_.ber_per_retention_sec *
+           sim::ToSec(sim_->Now() - block.programmed_at);
+  }
+  ber += reliability_.ber_per_read_disturb *
+         static_cast<double>(block.reads_since_erase);
+  return ber;
+}
+
+uint64_t Array::SampleBitErrors(const Block& block, double ber_scale) {
+  double ber = BaseBer(block);
+  if (injector_ != nullptr) {
+    sim::SimTime extra_dwell = injector_->InjectFlashRetentionDwell();
+    if (extra_dwell > 0) {
+      ber += reliability_.ber_per_retention_sec * sim::ToSec(extra_dwell);
+    }
+    uint64_t extra_reads = injector_->InjectFlashDisturbReads();
+    if (extra_reads > 0) {
+      ber += reliability_.ber_per_read_disturb *
+             static_cast<double>(extra_reads);
+    }
+  }
+  ber *= ber_scale;
   if (ber <= 0) return 0;
   // Binomial(page_bits, ber) approximated by its Poisson limit; exact
   // sampling is irrelevant at these rates.
@@ -138,6 +167,7 @@ void Array::Program(const Address& addr, std::vector<uint8_t> data,
     });
     return;
   }
+  if (block.next_page == 0) block.programmed_at = sim_->Now();
   block.pages[addr.page] = std::move(data);
   block.oob[addr.page] = std::move(oob);
   block.next_page = addr.page + 1;
@@ -150,10 +180,37 @@ void Array::Read(const Address& addr, ReadCallback done) {
   Block& block = BlockAt(addr);
   ++stats_.reads;
   if (m_reads_) m_reads_->Add();
+  ++block.reads_since_erase;
 
-  // tR moves the page into the register, then it streams over the bus.
+  // Sample errors and walk the read-retry ladder up front: each level
+  // re-senses with a shifted read reference (reduced effective BER) and
+  // charges one extra tR of die time. Injector-forced uncorrectables model
+  // damage beyond what reference shifting can recover, so they bypass the
+  // ladder.
+  uint64_t errors;
+  uint32_t retries = 0;
+  if (injector_ != nullptr && injector_->InjectFlashReadUncorrectable()) {
+    errors = reliability_.ecc_correctable_bits + 1;
+  } else {
+    errors = SampleBitErrors(block, 1.0);
+    double scale = 1.0;
+    while (errors > reliability_.ecc_correctable_bits &&
+           retries < reliability_.read_retry_levels) {
+      ++retries;
+      scale *= reliability_.retry_ber_factor;
+      errors = SampleBitErrors(block, scale);
+    }
+    if (retries > 0) {
+      stats_.read_retries += retries;
+      if (m_read_retries_) m_read_retries_->Add(retries);
+    }
+  }
+
+  // tR (once per sense pass) moves the page into the register, then it
+  // streams over the bus.
   Die& die = DieAt(addr.channel, addr.die);
-  sim::SimTime sense_done = OccupyDie(die, sim_->Now(), timing_.read_latency);
+  sim::SimTime sense_done = OccupyDie(
+      die, sim_->Now(), timing_.read_latency * (1 + retries));
   sim::SimTime start_bus = std::max(sense_done, sim_->Now());
   // Bus transfer starts once the register holds the data.
   sim::SimTime bus_done = std::max(
@@ -162,14 +219,12 @@ void Array::Read(const Address& addr, ReadCallback done) {
   std::vector<uint8_t> data = block.pages[addr.page];
   if (data.empty()) data.assign(geometry_.page_bytes, 0xFF);  // erased page
 
-  uint64_t errors = SampleBitErrors(block);
-  if (injector_ != nullptr && injector_->InjectFlashReadUncorrectable()) {
-    errors = reliability_.ecc_correctable_bits + 1;
-  }
   Status status = Status::OK();
   if (errors > reliability_.ecc_correctable_bits) {
     ++stats_.uncorrectable_reads;
     if (m_uncorrectable_reads_) m_uncorrectable_reads_->Add();
+    ++stats_.retry_exhausted;
+    if (m_retry_exhausted_) m_retry_exhausted_->Add();
     // Corrupt the returned image deterministically.
     for (uint64_t i = 0; i < errors && i < 64; ++i) {
       uint64_t bit = rng_.Uniform(data.size() * 8);
@@ -217,6 +272,8 @@ void Array::Erase(const Address& addr, EraseCallback done) {
   for (auto& page : block.pages) page.clear();
   for (auto& spare : block.oob) spare.clear();
   block.next_page = 0;
+  block.programmed_at = sim_->Now();  // dwell epoch restarts at the erase
+  block.reads_since_erase = 0;
   sim_->ScheduleAt(erase_done,
                    [done = std::move(done)]() { done(Status::OK()); });
 }
@@ -241,6 +298,18 @@ uint32_t Array::EraseCount(const Address& addr) const {
   return BlockAt(addr).erase_count;
 }
 
+uint64_t Array::ReadsSinceErase(const Address& addr) const {
+  return BlockAt(addr).reads_since_erase;
+}
+
+sim::SimTime Array::ProgrammedAt(const Address& addr) const {
+  return BlockAt(addr).programmed_at;
+}
+
+double Array::PredictedBer(const Address& addr) const {
+  return BaseBer(BlockAt(addr));
+}
+
 const std::vector<uint8_t>* Array::PeekPage(const Address& addr) const {
   const Block& block = BlockAt(addr);
   if (block.pages[addr.page].empty()) return nullptr;
@@ -251,6 +320,15 @@ const std::vector<uint8_t>* Array::PeekOob(const Address& addr) const {
   const Block& block = BlockAt(addr);
   if (block.oob[addr.page].empty()) return nullptr;
   return &block.oob[addr.page];
+}
+
+bool Array::CorruptOob(const Address& addr, size_t byte_index,
+                       uint8_t xor_mask) {
+  Block& block = BlockAt(addr);
+  std::vector<uint8_t>& spare = block.oob[addr.page];
+  if (spare.empty() || xor_mask == 0) return false;
+  spare[byte_index % spare.size()] ^= xor_mask;
+  return true;
 }
 
 double Array::MaxProgramBandwidth() const {

@@ -30,6 +30,8 @@ struct ArrayStats {
   uint64_t bad_block_rejects = 0;  ///< ops refused because the block is bad
   uint64_t corrected_bit_errors = 0;
   uint64_t uncorrectable_reads = 0;
+  uint64_t read_retries = 0;     ///< extra sense passes spent on the ladder
+  uint64_t retry_exhausted = 0;  ///< reads still uncorrectable after it
 };
 
 /// \brief The NAND flash array: channels × dies with real page contents and
@@ -95,6 +97,16 @@ class Array {
   bool IsBadBlock(const Address& addr) const;
   uint32_t EraseCount(const Address& addr) const;
 
+  /// Reads issued to the page's block since its last erase (read disturb).
+  uint64_t ReadsSinceErase(const Address& addr) const;
+  /// Virtual time the block was last erased or first programmed after that
+  /// erase — the epoch retention dwell is measured from.
+  sim::SimTime ProgrammedAt(const Address& addr) const;
+  /// Current effective raw bit-error rate of the page's block: wear +
+  /// retention dwell + read disturb. Pure prediction — no sampling, no
+  /// fault-injection boosts. The patrol scrubber ranks blocks with this.
+  double PredictedBer(const Address& addr) const;
+
   /// Synchronous functional peek at stored page bytes (tests/recovery
   /// tooling only — no timing, no ECC).
   const std::vector<uint8_t>* PeekPage(const Address& addr) const;
@@ -104,8 +116,13 @@ class Array {
   /// reads through this probe (timing is charged by the caller).
   const std::vector<uint8_t>* PeekOob(const Address& addr) const;
 
+  /// Test hook: XOR `xor_mask` into one stored OOB byte (index taken modulo
+  /// the record length). No-op on erased pages; returns whether it landed.
+  bool CorruptOob(const Address& addr, size_t byte_index, uint8_t xor_mask);
+
   const Geometry& geometry() const { return geometry_; }
   const Timing& timing() const { return timing_; }
+  const Reliability& reliability() const { return reliability_; }
   const ArrayStats& stats() const { return stats_; }
 
   /// Aggregate sustainable program bandwidth (all dies busy), bytes/sec.
@@ -128,6 +145,8 @@ class Array {
     std::vector<std::vector<uint8_t>> oob;    // spare area, same lifecycle
     uint32_t next_page = 0;                   // NAND in-order program cursor
     uint32_t erase_count = 0;
+    sim::SimTime programmed_at = 0;   // retention-dwell epoch (see header)
+    uint64_t reads_since_erase = 0;   // read-disturb counter
     bool bad = false;
   };
   struct Die {
@@ -148,8 +167,16 @@ class Array {
   sim::SimTime OccupyDie(Die& die, sim::SimTime earliest,
                          sim::SimTime duration);
 
-  /// Sample read bit errors for a block at its current wear.
-  uint64_t SampleBitErrors(const Block& block);
+  /// Effective BER of a block right now: raw + wear + retention + disturb.
+  /// No fault-injection terms (PredictedBer shares this).
+  double BaseBer(const Block& block) const;
+
+  /// Sample read bit errors for a block at its current wear, retention
+  /// dwell, and disturb count, scaled by `ber_scale` (the retry ladder
+  /// passes < 1 for shifted-reference re-senses). Fault-injection dwell and
+  /// disturb boosts are added here so injected decay is indistinguishable
+  /// from organic decay.
+  uint64_t SampleBitErrors(const Block& block, double ber_scale);
 
   sim::Simulator* sim_;
   Geometry geometry_;
@@ -171,6 +198,8 @@ class Array {
   obs::Counter* m_bad_block_rejects_ = nullptr;
   obs::Counter* m_corrected_bit_errors_ = nullptr;
   obs::Counter* m_uncorrectable_reads_ = nullptr;
+  obs::Counter* m_read_retries_ = nullptr;
+  obs::Counter* m_retry_exhausted_ = nullptr;
 };
 
 }  // namespace xssd::flash

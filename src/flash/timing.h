@@ -25,8 +25,22 @@ struct Reliability {
   double raw_bit_error_rate = 0.0;
   /// Additional BER per program/erase cycle of the block (wear-out).
   double ber_per_pe_cycle = 0.0;
+  /// Additional BER per second of retention dwell (virtual time since the
+  /// block was first programmed after its last erase). Charge retention
+  /// loss: data sitting cold decays.
+  double ber_per_retention_sec = 0.0;
+  /// Additional BER per read issued to the block since its last erase
+  /// (read disturb). Hot-read blocks decay faster.
+  double ber_per_read_disturb = 0.0;
   /// Correctable bits per page (BCH-class code strength, whole-page basis).
   uint32_t ecc_correctable_bits = 72;
+  /// Read-retry ladder depth: when a read samples more errors than the ECC
+  /// budget, the die re-senses up to this many times with shifted read
+  /// reference voltages, each level re-sampling at
+  /// effective_ber *= retry_ber_factor and charging one extra tR.
+  uint32_t read_retry_levels = 4;
+  /// Effective-BER multiplier applied per retry level (< 1).
+  double retry_ber_factor = 0.5;
   /// Probability a program operation fails, grows with wear.
   double program_fail_rate = 0.0;
   /// Fraction of blocks marked factory-bad.

@@ -51,6 +51,16 @@ void Ftl::SetMetrics(obs::MetricsRegistry* registry,
   m_buffer_hits_ = registry->GetCounter(prefix + "ftl.buffer_hits");
   m_bad_block_retires_ =
       registry->GetCounter(prefix + "ftl.bad_block_retires");
+  m_refresh_pages_moved_ =
+      registry->GetCounter(prefix + "reliability.refresh_pages_moved");
+  m_refresh_erases_ =
+      registry->GetCounter(prefix + "reliability.refresh_erases");
+  m_uncorrectable_reads_ =
+      registry->GetCounter(prefix + "reliability.uncorrectable_reads");
+  m_escalations_ = registry->GetCounter(prefix + "reliability.escalations");
+  m_reliability_retires_ =
+      registry->GetCounter(prefix + "reliability.retired_blocks");
+  m_pages_lost_ = registry->GetCounter(prefix + "reliability.pages_lost");
   m_dirty_pages_ = registry->GetGauge(prefix + "ftl.dirty_pages");
   m_free_blocks_ = registry->GetGauge(prefix + "ftl.free_blocks");
   m_write_amp_ = registry->GetGauge(prefix + "ftl.write_amp");
@@ -224,12 +234,13 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
   // Every physical program carries {lpn, seq, stamp} in the spare area —
   // the recovery record. The stamp is fresh per attempt so a relocated
   // copy always outranks its source under equal seq.
-  std::vector<uint8_t> oob = EncodeOob(OobMeta{lpn, seq, ++next_stamp_});
+  uint64_t stamp = ++next_stamp_;
+  std::vector<uint8_t> oob = EncodeOob(OobMeta{lpn, seq, stamp});
   ++inflight_programs_[flash::BlockIndex(array_->geometry(), target)];
   scheduler_.Program(
       io_class, target, data, std::move(oob),
-      [this, io_class, stream, lpn, seq, src_ppn, ppn, target, data, attempts,
-       done = std::move(done)](Status status) mutable {
+      [this, io_class, stream, lpn, seq, stamp, src_ppn, ppn, target, data,
+       attempts, done = std::move(done)](Status status) mutable {
         --inflight_programs_[flash::BlockIndex(array_->geometry(), target)];
         if (status.IsIoError()) {
           // Grown bad block: retire it and retry elsewhere (paper §7.1:
@@ -257,13 +268,15 @@ void Ftl::ProgramPage(IoClass io_class, BlockAllocator::Stream stream,
         ++stats_.flash_programs;
         if (m_flash_programs_) m_flash_programs_->Add();
         if (src_ppn == kUnmapped) {
-          // Host/destage write: applies unless an even newer version's
-          // program completed first (out-of-order die completions).
-          map_.Map(lpn, ppn, seq);
+          // Host/destage write: applies unless a copy outranking it under
+          // the (seq, stamp) recovery order completed first (out-of-order
+          // die completions, duplicate writebacks of one version).
+          map_.Map(lpn, ppn, seq, stamp);
         } else {
-          // GC relocation: applies only while the source is still the
-          // live copy; a host rewrite mid-flight makes this a dead page.
-          map_.MapRelocated(lpn, src_ppn, ppn);
+          // GC/scrub relocation: applies while the source (or a same-seq,
+          // older-stamp duplicate of it) is the live copy; a host rewrite
+          // to a newer version mid-flight makes this a dead page.
+          map_.MapRelocated(lpn, src_ppn, ppn, seq, stamp);
         }
         UpdateGauges();
         MaybeStartGc();
@@ -297,7 +310,25 @@ void Ftl::ReadPage(IoClass io_class, uint64_t lpn, ReadCallback done) {
     return;
   }
   flash::Address addr = flash::AddressOfPage(array_->geometry(), ppn);
-  scheduler_.Read(io_class, addr, std::move(done));
+  scheduler_.Read(
+      io_class, addr,
+      [this, ppn, done = std::move(done)](Status status,
+                                          std::vector<uint8_t> data) mutable {
+        if (status.IsCorruption()) {
+          // Retry-ladder exhaustion reached the host path. Start the
+          // escalation chain in the background — relocate what still reads,
+          // retire the block — while the Corruption propagates so the
+          // caller can re-fetch the lost range from a replica.
+          ++stats_.uncorrectable_reads;
+          if (m_uncorrectable_reads_) m_uncorrectable_reads_->Add();
+          uint64_t block = ppn / array_->geometry().pages_per_block;
+          if (EscalateBlock(block, [](Status) {})) {
+            ++stats_.escalations;
+            if (m_escalations_) m_escalations_->Add();
+          }
+        }
+        done(status, std::move(data));
+      });
 }
 
 void Ftl::MaybeScheduleFlush() {
@@ -458,87 +489,168 @@ void Ftl::GcStep() {
     }
   }
   allocator_.Unseal(victim);
+  CollectBlock(victim, CollectMode::kGc, [this](Status) { GcStep(); });
+}
 
+bool Ftl::RefreshBlock(uint64_t block, WriteCallback done) {
+  return StartReclaim(block, CollectMode::kRefresh, std::move(done));
+}
+
+bool Ftl::EscalateBlock(uint64_t block, WriteCallback done) {
+  return StartReclaim(block, CollectMode::kRetire, std::move(done));
+}
+
+bool Ftl::StartReclaim(uint64_t block, CollectMode mode, WriteCallback done) {
+  if (Halted() || reclaim_busy_) return false;
+  if (inflight_programs_[block] != 0) return false;
+  // Only sealed blocks qualify: open blocks still take programs, and a
+  // block GC (or another collect) already unsealed is being handled.
+  const std::deque<uint64_t>& sealed = allocator_.sealed_blocks();
+  if (std::find(sealed.begin(), sealed.end(), block) == sealed.end()) {
+    return false;
+  }
+  allocator_.Unseal(block);
+  reclaim_busy_ = true;
+  CollectBlock(block, mode,
+               [this, done = std::move(done)](Status status) {
+                 reclaim_busy_ = false;
+                 done(status);
+               });
+  return true;
+}
+
+void Ftl::CollectBlock(uint64_t victim, CollectMode mode, WriteCallback done) {
   const flash::Geometry& geom = array_->geometry();
-  auto relocate = std::make_shared<std::function<void(uint32_t)>>();
+  const bool for_gc = mode == CollectMode::kGc;
+  // Pages that failed their relocation read. A refresh that hit one must
+  // not erase the victim: erasing would unmap the lost lpns and turn a
+  // loud Corruption into silent zeros. It degrades to a retire instead.
+  auto lost = std::make_shared<uint64_t>(0);
+  auto done_ptr = std::make_shared<WriteCallback>(std::move(done));
+  auto step = std::make_shared<std::function<void(uint32_t)>>();
   auto self = this;
-  *relocate = [self, victim, geom, relocate](uint32_t page) {
-    if (self->Halted()) {
-      // Power was cut at some crash site; freeze the mid-GC state. The
-      // victim stays unsealed and un-erased — exactly what recovery sees.
-      self->gc_running_ = false;
-      return;
-    }
-    if (page == geom.pages_per_block) {
-      // All valid pages moved; erase and recycle.
+  auto dispose = [self, victim, geom, mode, lost, done_ptr]() {
+    if (mode == CollectMode::kGc) {
       if (self->injector_ != nullptr &&
           self->injector_->CrashPoint(self->site_prefix_ + "ftl.gc.erase")) {
         self->gc_running_ = false;
         return;
       }
-      flash::Address blk = flash::AddressOfBlock(geom, victim);
-      self->scheduler_.Erase(
-          IoClass::kConventional, blk, [self, victim](Status status) {
-            if (status.ok()) {
-              self->wear_.OnErase(victim);
-              self->map_.OnBlockErased(victim);
-              self->allocator_.Release(victim);
+    }
+    if (mode == CollectMode::kRetire || *lost > 0) {
+      // Relocated what still reads; retire the husk through the bad-block
+      // path. Unreadable lpns stay mapped into it so reads keep failing
+      // loudly and the host can escalate to a replica.
+      self->allocator_.MarkBad(victim);
+      self->wear_.Retire(victim);
+      ++self->stats_.bad_block_retires;
+      if (self->m_bad_block_retires_) self->m_bad_block_retires_->Add();
+      ++self->stats_.reliability_retires;
+      if (self->m_reliability_retires_) self->m_reliability_retires_->Add();
+      self->UpdateGauges();
+      self->UpdateWearGauges();
+      (*done_ptr)(Status::OK());
+      return;
+    }
+    flash::Address blk = flash::AddressOfBlock(geom, victim);
+    self->scheduler_.Erase(
+        IoClass::kConventional, blk,
+        [self, victim, mode, done_ptr](Status status) {
+          if (status.ok()) {
+            self->wear_.OnErase(victim);
+            self->map_.OnBlockErased(victim);
+            self->allocator_.Release(victim);
+            if (mode == CollectMode::kGc) {
               ++self->stats_.gc_erases;
               if (self->m_gc_erases_) self->m_gc_erases_->Add();
             } else {
-              self->allocator_.MarkBad(victim);
-              self->wear_.Retire(victim);
-              ++self->stats_.bad_block_retires;
-              if (self->m_bad_block_retires_) {
-                self->m_bad_block_retires_->Add();
-              }
+              ++self->stats_.refresh_erases;
+              if (self->m_refresh_erases_) self->m_refresh_erases_->Add();
             }
-            self->UpdateGauges();
-            self->UpdateWearGauges();
-            self->GcStep();
-          });
+          } else {
+            self->allocator_.MarkBad(victim);
+            self->wear_.Retire(victim);
+            ++self->stats_.bad_block_retires;
+            if (self->m_bad_block_retires_) {
+              self->m_bad_block_retires_->Add();
+            }
+          }
+          self->UpdateGauges();
+          self->UpdateWearGauges();
+          (*done_ptr)(status);
+        });
+  };
+  *step = [self, victim, geom, mode, for_gc, lost, step, done_ptr,
+           dispose = std::move(dispose)](uint32_t page) {
+    if (self->Halted()) {
+      // Power was cut at some crash site; freeze the mid-collect state.
+      // The victim stays unsealed and un-erased — exactly what recovery
+      // sees. (GC's continuation is dropped; explicit collects abort.)
+      if (for_gc) {
+        self->gc_running_ = false;
+        return;
+      }
+      (*done_ptr)(Status::Aborted("ftl halted mid-collect"));
+      return;
+    }
+    if (page == geom.pages_per_block) {
+      // All valid pages moved; dispose of the victim.
+      dispose();
       return;
     }
     uint64_t ppn = victim * geom.pages_per_block + page;
     uint64_t lpn = self->map_.ReverseLookup(ppn);
     if (lpn == kUnmapped) {
-      (*relocate)(page + 1);
+      (*step)(page + 1);
       return;
     }
     flash::Address addr = flash::AddressOfPage(geom, ppn);
     self->scheduler_.Read(
         IoClass::kConventional, addr,
-        [self, lpn, ppn, page, relocate](Status status,
-                                         std::vector<uint8_t> data) {
+        [self, lpn, ppn, page, mode, for_gc, lost, step](
+            Status status, std::vector<uint8_t> data) {
           if (!status.ok()) {
-            XSSD_LOG(kWarning) << "GC read failed: " << status.ToString();
-            (*relocate)(page + 1);
+            if (for_gc) {
+              XSSD_LOG(kWarning) << "GC read failed: " << status.ToString();
+            } else {
+              ++*lost;
+              ++self->stats_.pages_lost;
+              if (self->m_pages_lost_) self->m_pages_lost_->Add();
+            }
+            (*step)(page + 1);
             return;
           }
           if (self->map_.Lookup(lpn) != ppn) {
             // Overwritten while the relocation read was in flight; the
             // page is stale now — skip it.
-            (*relocate)(page + 1);
+            (*step)(page + 1);
             return;
           }
-          if (self->injector_ != nullptr &&
+          if (for_gc && self->injector_ != nullptr &&
               self->injector_->CrashPoint(self->site_prefix_ +
                                           "ftl.gc.relocate")) {
             self->gc_running_ = false;
             return;
           }
-          ++self->stats_.gc_relocations;
-          if (self->m_gc_pages_moved_) self->m_gc_pages_moved_->Add();
+          if (mode == Ftl::CollectMode::kGc) {
+            ++self->stats_.gc_relocations;
+            if (self->m_gc_pages_moved_) self->m_gc_pages_moved_->Add();
+          } else {
+            ++self->stats_.refresh_relocations;
+            if (self->m_refresh_pages_moved_) {
+              self->m_refresh_pages_moved_->Add();
+            }
+          }
           // The copy keeps the victim page's logical version; only the
           // physical stamp (inside ProgramPage) is fresh.
           uint64_t seq = self->map_.SeqOf(lpn);
           self->ProgramPage(
               IoClass::kConventional, BlockAllocator::kGcStream, lpn, seq,
               /*src_ppn=*/ppn, std::move(data),
-              [relocate, page](Status) { (*relocate)(page + 1); });
+              [step, page](Status) { (*step)(page + 1); });
         });
   };
-  (*relocate)(0);
+  (*step)(0);
 }
 
 PageMap Ftl::RebuildFromOob(RebuildReport* report) const {
@@ -573,7 +685,7 @@ PageMap Ftl::RebuildFromOob(RebuildReport* report) const {
   PageMap rebuilt(geom, lpn_count);
   for (uint64_t lpn = 0; lpn < lpn_count; ++lpn) {
     if (best_ppn[lpn] == kUnmapped) continue;
-    rebuilt.Map(lpn, best_ppn[lpn], best_seq[lpn]);
+    rebuilt.Map(lpn, best_ppn[lpn], best_seq[lpn], best_stamp[lpn]);
   }
   local.mapped = rebuilt.mapped_pages();
   local.stale_copies =

@@ -63,6 +63,14 @@ struct FtlStats {
   uint64_t buffer_hits = 0;       ///< reads served from the data buffer
   uint64_t bad_block_retires = 0;
 
+  // Media-reliability escalation chain (see RefreshBlock/EscalateBlock).
+  uint64_t refresh_relocations = 0;  ///< valid pages moved by scrub refresh
+  uint64_t refresh_erases = 0;       ///< blocks refreshed (erase + recycle)
+  uint64_t uncorrectable_reads = 0;  ///< host reads that surfaced Corruption
+  uint64_t escalations = 0;          ///< escalation chains started
+  uint64_t reliability_retires = 0;  ///< blocks retired without erase
+  uint64_t pages_lost = 0;           ///< pages unreadable during a collect
+
   /// Write amplification factor observed so far. An idle device has done
   /// no amplification at all — by convention that reads 0.0, not 1.0, so a
   /// dashboard can tell "no traffic yet" from "WA exactly 1".
@@ -125,6 +133,33 @@ class Ftl {
 
   /// Invalidate a logical page.
   void Trim(uint64_t lpn);
+
+  /// How a block collection walk disposes of its victim.
+  enum class CollectMode {
+    kGc,       ///< garbage collection: crash sites + erase + recycle
+    kRefresh,  ///< proactive scrub refresh: erase + recycle, dwell resets
+    kRetire,   ///< escalation: relocate what reads, retire without erase
+  };
+
+  /// Proactively relocate a sealed, quiesced block's valid pages and erase
+  /// it — resetting its retention dwell and read-disturb count. Degrades to
+  /// retire-without-erase if any page turns out unreadable, so lost lpns
+  /// keep signalling Corruption instead of silently reading zeros. Returns
+  /// false (and never calls `done`) when the block is open, has programs in
+  /// flight, another refresh/escalation is running, or the FTL is halted.
+  bool RefreshBlock(uint64_t block, WriteCallback done);
+
+  /// Uncorrectable-read escalation: relocate the block's still-correctable
+  /// pages, then retire the block through the bad-block path without
+  /// erasing it (the unreadable lpns stay mapped so host reads keep
+  /// returning Corruption and can be re-fetched from a replica). Same
+  /// refusal conditions as RefreshBlock.
+  bool EscalateBlock(uint64_t block, WriteCallback done);
+
+  /// In-flight NAND programs targeting `block` (scrub quiescence probe).
+  uint32_t inflight_programs(uint64_t block) const {
+    return inflight_programs_[block];
+  }
 
   Scheduler& scheduler() { return scheduler_; }
   const FtlStats& stats() const { return stats_; }
@@ -205,6 +240,15 @@ class Ftl {
   void MaybeStartGc();
   void GcStep();
 
+  /// Shared guard for refresh/escalation: checks the victim is sealed and
+  /// quiesced, unseals it, and starts the collection walk.
+  bool StartReclaim(uint64_t block, CollectMode mode, WriteCallback done);
+  /// Relocate `victim`'s valid pages then dispose of it per `mode`. The
+  /// victim must already be unsealed and quiesced. In kGc mode crash sites
+  /// fire and a crash freezes the walk without calling `done`; the other
+  /// modes abort with Status::Aborted instead.
+  void CollectBlock(uint64_t victim, CollectMode mode, WriteCallback done);
+
   void TouchLru(uint64_t lpn);
   void EvictIfNeeded();
 
@@ -245,6 +289,8 @@ class Ftl {
   std::deque<AdmissionWaiter> admission_queue_;
 
   bool gc_running_ = false;
+  /// One refresh/escalation collect at a time (determinism + bounded churn).
+  bool reclaim_busy_ = false;
   /// In-flight NAND programs per block. A block is sealed when its last
   /// page is *allocated*, not when it is programmed, so a sealed block can
   /// still have programs in flight; GC must not pick such a block — the
@@ -265,6 +311,12 @@ class Ftl {
   obs::Counter* m_gc_erases_ = nullptr;
   obs::Counter* m_buffer_hits_ = nullptr;
   obs::Counter* m_bad_block_retires_ = nullptr;
+  obs::Counter* m_refresh_pages_moved_ = nullptr;
+  obs::Counter* m_refresh_erases_ = nullptr;
+  obs::Counter* m_uncorrectable_reads_ = nullptr;
+  obs::Counter* m_escalations_ = nullptr;
+  obs::Counter* m_reliability_retires_ = nullptr;
+  obs::Counter* m_pages_lost_ = nullptr;
   obs::Gauge* m_dirty_pages_ = nullptr;
   obs::Gauge* m_free_blocks_ = nullptr;
   obs::Gauge* m_write_amp_ = nullptr;

@@ -11,12 +11,18 @@ PageMap::PageMap(const flash::Geometry& geometry, uint64_t lpn_count)
       l2p_(lpn_count, kUnmapped),
       p2l_(geometry.pages(), kUnmapped),
       valid_count_(geometry.blocks(), 0),
-      seq_(lpn_count, 0) {}
+      seq_(lpn_count, 0),
+      stamp_(lpn_count, 0) {}
 
-bool PageMap::Map(uint64_t lpn, uint64_t ppn, uint64_t seq) {
+bool PageMap::Map(uint64_t lpn, uint64_t ppn, uint64_t seq, uint64_t stamp) {
   XSSD_CHECK(lpn < l2p_.size());
   XSSD_CHECK(ppn < p2l_.size());
+  // (seq, stamp) precedence — exactly the order RebuildFromOob resolves
+  // duplicate copies with, so the live map can never disagree with a
+  // recovery scan. Equal (seq, stamp) still applies, preserving the
+  // stamp-less legacy behaviour (stamp 0).
   if (seq < seq_[lpn]) return false;  // stale version lost the program race
+  if (seq == seq_[lpn] && stamp < stamp_[lpn]) return false;
   uint64_t old_ppn = l2p_[lpn];
   if (old_ppn != kUnmapped) {
     p2l_[old_ppn] = kUnmapped;
@@ -26,19 +32,35 @@ bool PageMap::Map(uint64_t lpn, uint64_t ppn, uint64_t seq) {
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
   seq_[lpn] = seq;
+  stamp_[lpn] = stamp;
   ++valid_count_[ppn / geometry_.pages_per_block];
   ++mapped_;
   return true;
 }
 
-bool PageMap::MapRelocated(uint64_t lpn, uint64_t src_ppn, uint64_t dst_ppn) {
+bool PageMap::MapRelocated(uint64_t lpn, uint64_t src_ppn, uint64_t dst_ppn,
+                           uint64_t seq, uint64_t stamp) {
   XSSD_CHECK(lpn < l2p_.size());
   XSSD_CHECK(dst_ppn < p2l_.size());
-  if (l2p_[lpn] != src_ppn) return false;  // superseded mid-relocation
-  p2l_[src_ppn] = kUnmapped;
-  --valid_count_[src_ppn / geometry_.pages_per_block];
+  uint64_t old_ppn = l2p_[lpn];
+  if (old_ppn == kUnmapped) return false;  // trimmed mid-relocation
+  if (old_ppn != src_ppn) {
+    // Source superseded mid-flight. When the supersession was another
+    // physical copy of the *same* logical version (a duplicate writeback
+    // that completed between this relocation's issue and its landing),
+    // the relocated copy still outranks it under the recovery order —
+    // apply it, or an OOB rebuild would pick this copy while the live map
+    // points elsewhere. A newer version (or a stale stamp) keeps the copy
+    // dead on arrival.
+    if (seq < seq_[lpn] || (seq == seq_[lpn] && stamp <= stamp_[lpn])) {
+      return false;
+    }
+  }
+  p2l_[old_ppn] = kUnmapped;
+  --valid_count_[old_ppn / geometry_.pages_per_block];
   l2p_[lpn] = dst_ppn;
   p2l_[dst_ppn] = lpn;
+  stamp_[lpn] = std::max(stamp_[lpn], stamp);
   ++valid_count_[dst_ppn / geometry_.pages_per_block];
   return true;
 }

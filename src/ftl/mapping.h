@@ -29,20 +29,27 @@ class PageMap {
   /// Physical page currently backing `lpn`, or kUnmapped.
   uint64_t Lookup(uint64_t lpn) const { return l2p_[lpn]; }
 
-  /// Point `lpn` at physical page `ppn` carrying logical version `seq`.
-  /// Applies only when `seq` is at least the lpn's current version —
-  /// program completions may arrive out of write order (different dies
-  /// finish at different times) and an older version must never shadow a
-  /// newer one. Returns whether the mapping was applied; when it was not,
-  /// `ppn` stays invalid (garbage for the next GC pass).
-  bool Map(uint64_t lpn, uint64_t ppn, uint64_t seq);
+  /// Point `lpn` at physical page `ppn` carrying logical version `seq`
+  /// and physical program stamp `stamp`. Applies under the same
+  /// (seq, stamp) lexicographic order RebuildFromOob uses to pick a
+  /// winner — program completions may arrive out of write order
+  /// (different dies finish at different times) and an older version, or
+  /// an older physical attempt of the same version, must never shadow a
+  /// newer one. Keeping the live order identical to the recovery order is
+  /// what makes the two provably agree at any quiesced point. Returns
+  /// whether the mapping was applied; when it was not, `ppn` stays
+  /// invalid (garbage for the next GC pass).
+  bool Map(uint64_t lpn, uint64_t ppn, uint64_t seq, uint64_t stamp = 0);
 
-  /// GC relocation: move `lpn`'s mapping from `src_ppn` to `dst_ppn`
-  /// without changing its logical version. Applies only while the live
-  /// mapping still points at `src_ppn`; if the host re-wrote the lpn while
-  /// the relocation was in flight, the copy is dead on arrival and false is
-  /// returned.
-  bool MapRelocated(uint64_t lpn, uint64_t src_ppn, uint64_t dst_ppn);
+  /// GC/scrub relocation: move `lpn`'s mapping from `src_ppn` to
+  /// `dst_ppn` without changing its logical version. Applies while the
+  /// live mapping still points at `src_ppn`, or — when the source was
+  /// superseded mid-flight by another physical copy of the *same* logical
+  /// version — when (seq, stamp) outranks the current mapping, mirroring
+  /// the recovery order. A host re-write to a newer version, or a TRIM,
+  /// makes the copy dead on arrival and false is returned.
+  bool MapRelocated(uint64_t lpn, uint64_t src_ppn, uint64_t dst_ppn,
+                    uint64_t seq = 0, uint64_t stamp = 0);
 
   /// Drop the mapping for `lpn` (TRIM). The lpn's seq floor is kept so a
   /// later rewrite still outranks stale flash copies.
@@ -53,6 +60,9 @@ class PageMap {
 
   /// Logical version currently mapped (or last mapped) for `lpn`.
   uint64_t SeqOf(uint64_t lpn) const { return seq_[lpn]; }
+
+  /// Physical program stamp of the copy currently mapped for `lpn`.
+  uint64_t StampOf(uint64_t lpn) const { return stamp_[lpn]; }
 
   /// Valid (still-mapped) pages in physical block `block_index`.
   uint32_t ValidCount(uint64_t block_index) const {
@@ -79,6 +89,7 @@ class PageMap {
   std::vector<uint64_t> p2l_;
   std::vector<uint32_t> valid_count_;
   std::vector<uint64_t> seq_;
+  std::vector<uint64_t> stamp_;
   uint64_t mapped_ = 0;
 };
 

@@ -14,7 +14,8 @@ XLogClient::XLogClient(sim::Simulator* sim, pcie::PcieFabric* fabric,
       fabric_(fabric),
       cmb_base_(cmb_base),
       options_(options),
-      store_engine_(fabric, options.mmio_mode) {}
+      store_engine_(fabric, options.mmio_mode),
+      jitter_rng_(options.jitter_seed) {}
 
 Status XLogClient::Setup() {
   uint8_t value[8];
@@ -276,12 +277,13 @@ void XLogClient::ReadTail(nvme::Driver* driver, size_t len,
     tail_leftover_.erase(tail_leftover_.begin(),
                          tail_leftover_.begin() + take);
   }
-  ReadTailLoop(driver, len, std::move(acc), root, std::move(done));
+  ReadTailLoop(driver, len, std::move(acc), root, std::move(done), 0);
 }
 
 void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
                               std::shared_ptr<std::vector<uint8_t>> acc,
-                              obs::SpanContext ctx, ReadCallback done) {
+                              obs::SpanContext ctx, ReadCallback done,
+                              uint32_t rereads) {
   obs::ScopedContext scope(spans_, ctx);
   if (acc->size() >= len) {
     // Stash any surplus from the last parsed page for the next call.
@@ -295,34 +297,70 @@ void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
   // stream order, so any progress past our cursor means page read_seq_ is
   // fully on the conventional side.
   ReadRegister(core::kRegDestaged, [this, driver, len, acc = std::move(acc),
-                                    ctx, done = std::move(done)](
+                                    ctx, done = std::move(done), rereads](
                                        uint64_t destaged) mutable {
     destaged_cache_ = std::max(destaged_cache_, destaged);
     if (destaged_cache_ <= read_cursor_) {
-      // Nothing new yet — block (poll with a small backoff).
+      // Nothing new yet — block (fixed-interval poll: the wait is for
+      // destage progress, which has no failure mode worth backing off for).
       sim_->Schedule(sim::Us(5), [this, driver, len, acc = std::move(acc),
                                   ctx, done = std::move(done)]() mutable {
-        ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done));
+        ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done), 0);
       });
       return;
     }
     uint64_t lba =
         destage_start_lba_ + (read_seq_ % destage_lba_count_);
     driver->Read(lba, 1, [this, driver, len, acc = std::move(acc), ctx,
-                          done = std::move(done)](
+                          done = std::move(done), rereads](
                              Status status,
                              std::vector<uint8_t> page) mutable {
       if (!status.ok()) {
+        if (status.IsCorruption() && replica_window_base_ != 0) {
+          // Uncorrectable conventional-side read: escalate to the replica
+          // over NTB instead of surfacing the error.
+          ReplicaFetch(driver, len, std::move(acc), ctx, std::move(done),
+                       status);
+          return;
+        }
         done(status, {});
         return;
       }
       Result<core::ParsedDestagePage> parsed =
           core::ParseDestagePage(page);
       if (!parsed.ok() || parsed->header.sequence != read_seq_) {
-        // Page not (re)written yet at this slot; retry shortly.
-        sim_->Schedule(sim::Us(5), [this, driver, len, acc = std::move(acc),
-                                    ctx, done = std::move(done)]() mutable {
-          ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done));
+        // Page not (re)written yet at this slot. The destaged counter said
+        // it is on its way, so the common case resolves in one destage
+        // write time — back off exponentially with seeded jitter rather
+        // than hammering the slot, and give up with a typed error once it
+        // is evidently stuck (a retried slot that never lands).
+        if (options_.reread_attempt_limit > 0 &&
+            rereads >= options_.reread_attempt_limit) {
+          ++read_deadline_failures_;
+          done(Status::DeadlineExceeded(
+                   "destage slot never showed the expected sequence"),
+               {});
+          return;
+        }
+        ++slot_rereads_;
+        sim::SimTime delay = options_.reread_backoff;
+        for (uint32_t i = 0;
+             i < rereads && delay < options_.reread_backoff_max; ++i) {
+          delay *= 2;
+        }
+        if (delay > options_.reread_backoff_max) {
+          delay = options_.reread_backoff_max;
+        }
+        if (options_.reread_jitter > 0) {
+          delay += static_cast<sim::SimTime>(
+              jitter_rng_.NextDouble() * options_.reread_jitter *
+              static_cast<double>(delay));
+        }
+        sim_->Schedule(delay, [this, driver, len, acc = std::move(acc),
+                               ctx, done = std::move(done),
+                               rereads]() mutable {
+          ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done),
+                       rereads + 1);
         });
         return;
       }
@@ -338,9 +376,86 @@ void XLogClient::ReadTailLoop(nvme::Driver* driver, size_t len,
         // Fully consumed already (shouldn't normally happen).
       }
       ++read_seq_;
-      ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done));
+      ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done), 0);
     });
   });
+}
+
+void XLogClient::ReplicaFetch(nvme::Driver* driver, size_t len,
+                              std::shared_ptr<std::vector<uint8_t>> acc,
+                              obs::SpanContext ctx, ReadCallback done,
+                              Status local_status) {
+  // The conventional-side copy of page read_seq_ is gone, but the same
+  // stream bytes were persisted in the replica's PM ring before the destage
+  // acked them. Pull the lost extent straight out of that ring over the NTB
+  // window and skip the dead slot.
+  obs::SpanContext fetch_ctx;
+  if (spans_) {
+    fetch_ctx =
+        spans_->StartSpan(obs::Stage::kReplicaFetch, span_node_, ctx);
+  }
+  uint64_t capacity = core::DestagePayloadCapacity(driver->block_bytes());
+  fabric_->HostRead(
+      replica_window_base_ + core::kRegLocalCredit, 8,
+      [this, driver, len, acc = std::move(acc), ctx, fetch_ctx,
+       done = std::move(done), local_status,
+       capacity](std::vector<uint8_t> raw) mutable {
+        uint64_t credit = 0;
+        std::memcpy(&credit, raw.data(), 8);
+        // The lost page started at or before our cursor and carried at most
+        // `capacity` payload bytes, and the destaged counter already covers
+        // its end — so fetching [cursor, min(cursor + capacity, destaged))
+        // covers the whole page and never undershoots into the next slot's
+        // range. Overshoot into later (readable) pages is harmless: the
+        // normal consume logic skips already-consumed prefixes.
+        uint64_t fetch_end =
+            std::min(read_cursor_ + capacity, destaged_cache_);
+        bool covered = credit >= fetch_end && fetch_end > read_cursor_;
+        bool overwritten = credit - read_cursor_ > ring_bytes_;
+        if (!covered || overwritten) {
+          // Replica cannot supply the extent (not yet replicated, or its
+          // ring has already wrapped past it): the loss is real.
+          if (spans_) spans_->EndSpan(fetch_ctx);
+          done(local_status, {});
+          return;
+        }
+        size_t want = static_cast<size_t>(fetch_end - read_cursor_);
+        uint64_t ring_offset = read_cursor_ % ring_bytes_;
+        uint64_t base = replica_window_base_ + core::kRingWindowOffset;
+        size_t first = static_cast<size_t>(
+            std::min<uint64_t>(want, ring_bytes_ - ring_offset));
+        auto finish = [this, driver, len, acc = std::move(acc), ctx,
+                       fetch_ctx, done = std::move(done),
+                       fetch_end](std::vector<uint8_t> bytes) mutable {
+          ++replica_fetches_;
+          replica_fetched_bytes_ += bytes.size();
+          if (spans_) {
+            spans_->SetRange(fetch_ctx, read_cursor_, fetch_end);
+            spans_->EndSpan(fetch_ctx);
+          }
+          acc->insert(acc->end(), bytes.begin(), bytes.end());
+          read_cursor_ = fetch_end;
+          ++read_seq_;  // past the dead slot
+          ReadTailLoop(driver, len, std::move(acc), ctx, std::move(done), 0);
+        };
+        if (first < want) {
+          // The extent wraps the replica ring: two window reads.
+          fabric_->HostRead(
+              base + ring_offset, first,
+              [this, base, want, first, finish = std::move(finish)](
+                  std::vector<uint8_t> head) mutable {
+                fabric_->HostRead(
+                    base, want - first,
+                    [head = std::move(head), finish = std::move(finish)](
+                        std::vector<uint8_t> tail) mutable {
+                      head.insert(head.end(), tail.begin(), tail.end());
+                      finish(std::move(head));
+                    });
+              });
+        } else {
+          fabric_->HostRead(base + ring_offset, want, std::move(finish));
+        }
+      });
 }
 
 Result<uint64_t> XLogClient::XAlloc(size_t len) {

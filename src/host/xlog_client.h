@@ -12,6 +12,7 @@
 #include "obs/span.h"
 #include "pcie/fabric.h"
 #include "pcie/store_engine.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace xssd::host {
@@ -38,6 +39,23 @@ struct XLogClientOptions {
   /// (Unavailable). Off by default: a healthy-but-slow device should be
   /// waited out, and only HA-aware callers retry on DeadlineExceeded.
   bool fail_on_stall = false;
+  /// Tail-read slot reread backoff. When the destaged counter says page
+  /// read_seq_ is on the conventional side but the ring slot does not parse
+  /// to that sequence yet (destage write still landing, or a retried slot),
+  /// the client rereads the slot after `reread_backoff`, doubling per
+  /// consecutive miss up to `reread_backoff_max`.
+  sim::SimTime reread_backoff = sim::Us(5);
+  sim::SimTime reread_backoff_max = sim::Us(160);
+  /// Seeded uniform jitter added on top of each backoff step, as a fraction
+  /// of the current delay, so concurrent readers de-synchronise instead of
+  /// hammering the drive in lockstep. 0 disables.
+  double reread_jitter = 0.25;
+  /// Fail the tail read with DeadlineExceeded after this many consecutive
+  /// rereads of one slot — the slot is evidently stuck, not merely slow.
+  /// 0 retries forever (the seed behaviour).
+  uint32_t reread_attempt_limit = 0;
+  /// Seed of the client-side jitter rng (independent of the device seed).
+  uint64_t jitter_seed = 0x9E3779B9;
 };
 
 /// \brief Host-side fast-path client for one Villars device: the engine
@@ -115,6 +133,28 @@ class XLogClient {
   void ReadTail(nvme::Driver* driver, size_t len, ReadCallback done);
 
   uint64_t read_cursor() const { return read_cursor_; }
+  /// Tail-read slot rereads issued (the backoff path above).
+  uint64_t slot_rereads() const { return slot_rereads_; }
+  /// Tail reads failed with DeadlineExceeded on a stuck slot.
+  uint64_t read_deadline_failures() const { return read_deadline_failures_; }
+
+  // -- Replica re-fetch (uncorrectable-read escalation, §4.2 HA) ------------
+
+  /// Arm the tail-read path to survive an uncorrectable conventional-side
+  /// read: `window_base` is the local bus address of an NTB window mapped
+  /// onto a replica's CMB BAR (host::StorageNode::ConnectWindowTo). When a
+  /// destage-ring read fails with Corruption, the client reads the
+  /// replica's persisted credit and pulls the lost page's stream extent
+  /// straight out of the replica's PM ring over the window, then resumes
+  /// past the dead slot — no client-visible error. 0 disarms (seed
+  /// behaviour: Corruption propagates to the caller).
+  void SetReplicaWindow(uint64_t window_base) {
+    replica_window_base_ = window_base;
+  }
+  /// Lost extents successfully re-fetched from the replica.
+  uint64_t replica_fetches() const { return replica_fetches_; }
+  /// Stream bytes recovered over the replica window.
+  uint64_t replica_fetched_bytes() const { return replica_fetched_bytes_; }
 
   // -- Advanced API (x_alloc / x_free, §5.2) --------------------------------
 
@@ -157,7 +197,15 @@ class XLogClient {
                 sim::SimTime last_progress);
   void ReadTailLoop(nvme::Driver* driver, size_t len,
                     std::shared_ptr<std::vector<uint8_t>> acc,
-                    obs::SpanContext ctx, ReadCallback done);
+                    obs::SpanContext ctx, ReadCallback done,
+                    uint32_t rereads);
+  /// Recover the lost page's stream extent from the replica ring after an
+  /// uncorrectable destage-ring read; falls back to `local_status` when the
+  /// replica cannot cover it (not yet replicated, or already overwritten).
+  void ReplicaFetch(nvme::Driver* driver, size_t len,
+                    std::shared_ptr<std::vector<uint8_t>> acc,
+                    obs::SpanContext ctx, ReadCallback done,
+                    Status local_status);
   void PushBarrier();
 
   sim::Simulator* sim_;
@@ -183,6 +231,15 @@ class XLogClient {
   uint64_t read_cursor_ = 0;
   uint64_t read_seq_ = 0;  ///< next destage-ring sequence to parse
   std::vector<uint8_t> tail_leftover_;  ///< page bytes past the last read
+  uint64_t slot_rereads_ = 0;
+  uint64_t read_deadline_failures_ = 0;
+
+  // Replica re-fetch (0 = disarmed).
+  uint64_t replica_window_base_ = 0;
+  uint64_t replica_fetches_ = 0;
+  uint64_t replica_fetched_bytes_ = 0;
+
+  sim::Rng jitter_rng_;
 
   // x_alloc state.
   struct Allocation {

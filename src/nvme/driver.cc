@@ -158,7 +158,12 @@ void Driver::Read(uint64_t lba, uint32_t blocks, ReadCallback done) {
     if (spans_) spans_->EndSpan(read_span);
     if (!cpl.ok()) {
       ReleaseBuffer(buf, bytes);
-      done(Status::IoError("NVMe read failed"), {});
+      // Preserve the media-error class: an uncorrectable read is the HA
+      // client's cue to re-fetch from a replica, unlike a plain IO error.
+      done(cpl.status == CmdStatus::kMediaUnrecoveredRead
+               ? Status::Corruption("NVMe read: unrecovered media error")
+               : Status::IoError("NVMe read failed"),
+           {});
       return;
     }
     std::vector<uint8_t> data(fabric_->host_memory() + buf,

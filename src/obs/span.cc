@@ -20,6 +20,10 @@ const char* StageName(Stage stage) {
       return "ntb.link";
     case Stage::kFlashProgram:
       return "flash.program";
+    case Stage::kReplicaFetch:
+      return "replica.fetch";
+    case Stage::kScrubRefresh:
+      return "scrub.refresh";
   }
   return "unknown";
 }
@@ -36,6 +40,9 @@ int StageDepth(Stage stage) {
     case Stage::kDestagePage:
     case Stage::kNvmeRead:
       return 3;
+    case Stage::kReplicaFetch:
+    case Stage::kScrubRefresh:
+      return 2;
     case Stage::kNtbLink:
     case Stage::kFlashProgram:
       return 4;

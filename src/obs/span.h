@@ -48,6 +48,8 @@ enum class Stage : uint8_t {
   kNvmeRead = 5,         // NVMe read command lifetime
   kNtbLink = 6,          // one NTB hop: cable + forward latency
   kFlashProgram = 7,     // FTL write issue → program complete
+  kReplicaFetch = 8,     // tail-read re-fetch of a lost range over NTB
+  kScrubRefresh = 9,     // patrol-scrub refresh/escalation walk (orphan)
 };
 
 const char* StageName(Stage stage);

@@ -162,6 +162,35 @@ TEST_F(DestageTest, RingWrapsOverLbaRange) {
   EXPECT_EQ(page->header.sequence, 4u);
 }
 
+TEST_F(DestageTest, RingWrapTrimsSupersededSlotsBeforeReuse) {
+  // First lap: 16 slots, no reuse, no trims.
+  for (int i = 0; i < 16; ++i) {
+    WriteStream(static_cast<uint64_t>(i) * Capacity(), Capacity(),
+                static_cast<uint8_t>(i));
+    sim_.Run();
+  }
+  EXPECT_EQ(destage_.stats().ring_trims, 0u);
+  EXPECT_EQ(ftl_.page_map().mapped_pages(), 16u);
+
+  // Second lap: each reused slot is TRIMmed before its rewrite, handing
+  // the stale copy back to GC as immediate garbage instead of leaving it
+  // valid until the overwrite's map update.
+  for (int i = 16; i < 20; ++i) {
+    WriteStream(static_cast<uint64_t>(i) * Capacity(), Capacity(),
+                static_cast<uint8_t>(i));
+    sim_.Run();
+  }
+  EXPECT_EQ(destage_.stats().ring_trims, 4u);
+  // The ring never holds more than ring_lba_count mapped pages, and the
+  // wrapped slots read back as their newest lap.
+  EXPECT_EQ(ftl_.page_map().mapped_pages(), 16u);
+  for (uint64_t slot = 0; slot < 4; ++slot) {
+    Result<ParsedDestagePage> page = ReadRingSlot(slot);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->header.sequence, 16u + slot);
+  }
+}
+
 TEST_F(DestageTest, PowerLossDestagesEverythingPersisted) {
   WriteStream(0, 1000, 0xCC);
   sim_.Run();  // persisted but below a page: destage pending on threshold

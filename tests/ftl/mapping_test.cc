@@ -81,6 +81,45 @@ TEST(PageMap, MapRelocatedDeadOnArrivalWhenSuperseded) {
   EXPECT_EQ(map.ValidCount(90 / 8), 0u);
 }
 
+TEST(PageMap, SameSeqOlderStampIsRejected) {
+  // Two physical attempts of the SAME logical version (a duplicate
+  // writeback): the copy with the newer program stamp wins regardless of
+  // completion order — the exact order an OOB recovery scan replays.
+  PageMap map(SmallGeometry(), 64);
+  EXPECT_TRUE(map.Map(5, 90, 7, /*stamp=*/12));
+  EXPECT_FALSE(map.Map(5, 40, 7, /*stamp=*/11));  // older stamp lost the race
+  EXPECT_EQ(map.Lookup(5), 90u);
+  EXPECT_EQ(map.StampOf(5), 12u);
+  EXPECT_EQ(map.ReverseLookup(40), kUnmapped);
+  // The newer stamp of the same seq applies.
+  EXPECT_TRUE(map.Map(5, 40, 7, /*stamp=*/13));
+  EXPECT_EQ(map.Lookup(5), 40u);
+  EXPECT_EQ(map.StampOf(5), 13u);
+}
+
+TEST(PageMap, MapRelocatedAppliesOverSupersededSameSeqDuplicate) {
+  // A relocation whose source was superseded mid-flight by ANOTHER copy
+  // of the same logical version: the relocated copy outranks it when its
+  // (seq, stamp) is newer — live order must mirror the recovery order.
+  PageMap map(SmallGeometry(), 64);
+  EXPECT_TRUE(map.Map(5, 40, 6, /*stamp=*/20));
+  // Duplicate writeback of seq 6 with an older stamp landed late and was
+  // applied via a path that saw the map before relocation started.
+  EXPECT_TRUE(map.Map(5, 50, 6, /*stamp=*/21));
+  // The relocation of the copy stamped 22 still wins...
+  EXPECT_TRUE(map.MapRelocated(5, 40, 90, /*seq=*/6, /*stamp=*/22));
+  EXPECT_EQ(map.Lookup(5), 90u);
+  EXPECT_EQ(map.StampOf(5), 22u);
+  EXPECT_EQ(map.ReverseLookup(50), kUnmapped);
+  // ...but a stale-stamp or older-version relocation stays dead on
+  // arrival once superseded.
+  EXPECT_TRUE(map.Map(5, 50, 6, /*stamp=*/30));
+  EXPECT_FALSE(map.MapRelocated(5, 90, 91, /*seq=*/6, /*stamp=*/22));
+  EXPECT_FALSE(map.MapRelocated(5, 90, 91, /*seq=*/5, /*stamp=*/99));
+  EXPECT_EQ(map.Lookup(5), 50u);
+  EXPECT_EQ(map.ReverseLookup(91), kUnmapped);
+}
+
 TEST(PageMap, UnmapTrims) {
   PageMap map(SmallGeometry(), 64);
   EXPECT_TRUE(map.Map(7, 41, 4));

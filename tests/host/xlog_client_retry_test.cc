@@ -1,0 +1,129 @@
+// Tail-read slot-reread backoff tests: a destage-ring slot that never
+// shows the expected sequence (here: permanently overwritten by ring wrap)
+// must be re-polled with bounded exponential backoff and fail with a typed
+// DeadlineExceeded once the attempt limit is spent — not spin forever and
+// not surface a raw parse error.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/page_format.h"
+#include "host/node.h"
+#include "host/xcalls.h"
+
+namespace xssd::host {
+namespace {
+
+core::VillarsConfig WrapConfig() {
+  core::VillarsConfig config;
+  config.geometry.channels = 2;
+  config.geometry.dies_per_channel = 2;
+  config.geometry.blocks_per_plane = 16;
+  config.geometry.pages_per_block = 32;
+  // Tiny conventional-side ring: ten destage pages lap an 8-slot ring, so
+  // slot 0 permanently holds a second-lap sequence.
+  config.destage.ring_lba_count = 8;
+  return config;
+}
+
+struct StuckSlotRun {
+  sim::Simulator sim;
+  StorageNode node;
+  Status read_status = Status::OK();
+  sim::SimTime started = 0;
+  sim::SimTime failed_at = 0;
+
+  explicit StuckSlotRun(XLogClientOptions options)
+      : node(&sim, WrapConfig(), pcie::FabricConfig{}, "retry", options) {
+    EXPECT_TRUE(node.Init().ok());
+  }
+
+  /// Lap the destage ring, then try to read the overwritten tail.
+  void Run() {
+    const uint64_t capacity = core::DestagePayloadCapacity(
+        node.device().config().geometry.page_bytes);
+    std::vector<uint8_t> wal(10 * capacity, 0xAB);
+    ASSERT_EQ(x_pwrite(sim, node.client(), wal.data(), wal.size()),
+              static_cast<ssize_t>(wal.size()));
+    ASSERT_EQ(x_fsync(sim, node.client()), 0);
+    sim.RunFor(sim::Ms(5));  // let destaging finish lapping the ring
+
+    started = sim.Now();
+    bool fired = false;
+    node.client().ReadTail(&node.driver(), 100,
+                           [&](Status status, std::vector<uint8_t>) {
+                             read_status = status;
+                             fired = true;
+                           });
+    sim.RunWhile([&]() { return fired; });
+    ASSERT_TRUE(fired);
+    failed_at = sim.Now();
+  }
+};
+
+TEST(XLogClientRetry, StuckSlotFailsWithDeadlineAfterBoundedBackoff) {
+  XLogClientOptions options;
+  options.reread_attempt_limit = 5;
+  options.reread_jitter = 0.0;  // exact backoff arithmetic below
+  StuckSlotRun run(options);
+  run.Run();
+
+  EXPECT_TRUE(run.read_status.IsDeadlineExceeded())
+      << run.read_status.ToString();
+  EXPECT_EQ(run.node.client().read_deadline_failures(), 1u);
+  EXPECT_EQ(run.node.client().slot_rereads(), 5u);
+  // Exponential schedule 5+10+20+40+80 us of pure backoff (plus the reads
+  // themselves): the client backed off instead of hammering the slot.
+  EXPECT_GE(run.failed_at - run.started, sim::Us(155));
+  // The cursor did not advance past data that never arrived.
+  EXPECT_EQ(run.node.client().read_cursor(), 0u);
+}
+
+TEST(XLogClientRetry, BackoffCapBoundsTheSchedule) {
+  // Same stuck slot, but the per-step cap keeps every delay at <= 10 us:
+  // total virtual time to the deadline must come in well under the
+  // uncapped schedule's.
+  XLogClientOptions capped;
+  capped.reread_attempt_limit = 5;
+  capped.reread_jitter = 0.0;
+  capped.reread_backoff_max = sim::Us(10);
+  StuckSlotRun capped_run(capped);
+  capped_run.Run();
+  ASSERT_TRUE(capped_run.read_status.IsDeadlineExceeded());
+
+  XLogClientOptions uncapped;
+  uncapped.reread_attempt_limit = 5;
+  uncapped.reread_jitter = 0.0;
+  StuckSlotRun uncapped_run(uncapped);
+  uncapped_run.Run();
+  ASSERT_TRUE(uncapped_run.read_status.IsDeadlineExceeded());
+
+  // Capped: 5+10+10+10+10 = 45 us of backoff vs 155 us uncapped.
+  EXPECT_LT(capped_run.failed_at - capped_run.started,
+            uncapped_run.failed_at - uncapped_run.started);
+}
+
+TEST(XLogClientRetry, SeededJitterIsDeterministic) {
+  // Jitter de-synchronises concurrent readers but must never break run
+  // reproducibility: two identical configurations replay byte-identically.
+  XLogClientOptions options;
+  options.reread_attempt_limit = 4;
+  options.reread_jitter = 0.25;
+  StuckSlotRun first(options);
+  first.Run();
+  StuckSlotRun second(options);
+  second.Run();
+
+  ASSERT_TRUE(first.read_status.IsDeadlineExceeded());
+  ASSERT_TRUE(second.read_status.IsDeadlineExceeded());
+  EXPECT_EQ(first.node.client().slot_rereads(),
+            second.node.client().slot_rereads());
+  EXPECT_EQ(first.failed_at - first.started,
+            second.failed_at - second.started);
+  // And jitter actually stretched the schedule past the jitterless floor.
+  EXPECT_GT(first.failed_at - first.started, sim::Us(5 + 10 + 20 + 40));
+}
+
+}  // namespace
+}  // namespace xssd::host
