@@ -1,19 +1,28 @@
 #ifndef XSSD_BENCH_BENCH_UTIL_H_
 #define XSSD_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.h"
 #include "obs/critical_path.h"
+#include "obs/flightrec.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
+#include "sim/time.h"
 
 namespace xssd::bench {
 
@@ -52,6 +61,14 @@ inline void PrintHeader(const std::string& title) {
 ///   --trace PATH       record simulator events as Chrome trace_event JSON
 ///   --breakdown PATH   record request spans and write the critical-path
 ///                      latency breakdown (per run, per request kind)
+///   --timeseries PATH  per-window time series of every metric, one
+///                      sampler per run (see AttachTimeSeries)
+///   --ts-interval-us N sampling window length in virtual µs (default 1000)
+///   --slo PATH         JSON SLO rules evaluated per window (implies
+///                      sampling); a fatal rule's alert fails the bench
+///   --flightrec PATH   write the flight-recorder ring to PATH at exit
+///                      (the recorder itself is always on; crash-site
+///                      AutoDumps also land in PATH instead of stderr)
 ///
 /// Device counters accumulate across every run the bench performs; per-run
 /// headline numbers go in as `bench.<name>.*` gauges via SetResult(), so
@@ -69,10 +86,27 @@ class BenchReporter {
         trace_ = std::make_unique<obs::ChromeTraceWriter>();
       } else if (arg == "--breakdown" && i + 1 < argc) {
         breakdown_path_ = argv[++i];
+      } else if (arg == "--timeseries" && i + 1 < argc) {
+        timeseries_path_ = argv[++i];
+      } else if (arg == "--ts-interval-us" && i + 1 < argc) {
+        ts_interval_us_ = std::strtoull(argv[++i], nullptr, 10);
+        if (ts_interval_us_ == 0) ts_interval_us_ = 1000;
+      } else if (arg == "--slo" && i + 1 < argc) {
+        std::string path = argv[++i];
+        Status status = LoadSloFile(path);
+        if (!status.ok()) {
+          std::fprintf(stderr, "--slo %s: %s\n", path.c_str(),
+                       status.ToString().c_str());
+          flag_error_ = true;
+        }
+      } else if (arg == "--flightrec" && i + 1 < argc) {
+        flightrec_path_ = argv[++i];
+        flightrec_.set_dump_path(flightrec_path_);
       } else {
         positional_.push_back(std::move(arg));
       }
     }
+    flightrec_.SetMetrics(&registry_);
   }
 
   obs::MetricsRegistry& registry() { return registry_; }
@@ -100,6 +134,58 @@ class BenchReporter {
 
   bool breakdown_enabled() const { return !breakdown_path_.empty(); }
 
+  /// True when per-window sampling is on: --timeseries was given, --slo
+  /// loaded rules, or the bench added rules programmatically.
+  bool sampling_enabled() const {
+    return !timeseries_path_.empty() || !slo_rules_.empty();
+  }
+
+  /// Add an SLO rule programmatically (campaign headline gates). Must be
+  /// called before the runs whose samplers should evaluate it. Adding a
+  /// rule enables sampling even without --timeseries.
+  void AddSloRule(obs::SloRule rule) { slo_rules_.push_back(std::move(rule)); }
+
+  /// The bench-wide black-box ring: always on, shared by every run.
+  /// Benches hand it to devices (EnableFlightRecorder), injectors, and
+  /// supervisors; crash sites AutoDump it.
+  obs::FlightRecorder* flight_recorder() { return &flightrec_; }
+
+  /// Allocate a per-run sampler (plus watchdog when rules exist) over the
+  /// shared registry and start it at `sim`'s current time; nullptr when
+  /// sampling is off. The sampler rides the simulator's time-observer
+  /// hook, so the run's event sequence is identical with sampling on or
+  /// off. Safe to let `sim` die first — teardown finalizes the sampler.
+  obs::TimeSeriesSampler* AttachTimeSeries(sim::Simulator* sim,
+                                           const std::string& run_label) {
+    if (!sampling_enabled()) return nullptr;
+    obs::TimeSeriesOptions options;
+    options.interval = sim::Us(ts_interval_us_);
+    TsRun run;
+    run.label = run_label;
+    if (!slo_rules_.empty()) {
+      run.watchdog = std::make_unique<obs::SloWatchdog>();
+      run.watchdog->SetMetrics(&registry_);
+      for (const obs::SloRule& rule : slo_rules_) run.watchdog->AddRule(rule);
+      run.watchdog->set_flight_recorder(&flightrec_);
+    }
+    run.sampler =
+        std::make_unique<obs::TimeSeriesSampler>(sim, &registry_, options);
+    if (run.watchdog) run.sampler->set_watchdog(run.watchdog.get());
+    if (trace_) run.sampler->set_trace(trace_.get());
+    run.sampler->Start();
+    ts_runs_.push_back(std::move(run));
+    return ts_runs_.back().sampler.get();
+  }
+
+  /// Alerts of the rule named `name`, summed over every run's watchdog.
+  uint64_t SloAlerts(std::string_view name) const {
+    uint64_t total = 0;
+    for (const TsRun& run : ts_runs_) {
+      if (run.watchdog) total += run.watchdog->AlertsFor(name);
+    }
+    return total;
+  }
+
   /// Record one headline result as a gauge named
   /// "bench.<name>.<label>.<field>".
   void SetResult(const std::string& label, const std::string& field,
@@ -112,9 +198,15 @@ class BenchReporter {
         ->value();
   }
 
-  /// Write the metrics snapshot (and the trace, when recording). Call once
-  /// at the end of main().
+  /// Write the metrics snapshot (and the trace / time series / flight
+  /// recorder, when recording). Call once at the end of main(). Returns
+  /// non-zero on export failures and on any fatal SLO alert.
   int Finish() {
+    if (flag_error_) return 1;
+    // Close trailing partial windows before exporting anything: samplers
+    // whose simulators are still alive detach here; ones whose simulators
+    // already died were finalized at teardown (Finalize is idempotent).
+    for (TsRun& run : ts_runs_) run.sampler->Finalize();
     obs::JsonExporter exporter(&registry_);
     Status status = exporter.WriteFile(metrics_path_);
     if (!status.ok()) {
@@ -148,6 +240,41 @@ class BenchReporter {
         return 1;
       }
     }
+    if (!timeseries_path_.empty()) {
+      std::string doc = "{\"schema\": \"xssd.timeseries.v1\", \"bench\": \"" +
+                        obs::JsonEscape(name_) + "\", \"runs\": {";
+      bool first = true;
+      for (const TsRun& run : ts_runs_) {
+        if (!first) doc += ", ";
+        first = false;
+        doc += "\"" + obs::JsonEscape(run.label) + "\": ";
+        run.sampler->AppendJson(&doc);
+      }
+      doc += "}}\n";
+      std::ofstream ts_out(timeseries_path_);
+      ts_out << doc;
+      ts_out.close();
+      if (!ts_out) {
+        std::fprintf(stderr, "timeseries export failed: cannot write %s\n",
+                     timeseries_path_.c_str());
+        return 1;
+      }
+      size_t windows = 0;
+      for (const TsRun& run : ts_runs_) windows += run.sampler->windows();
+      std::printf("timeseries: %s (%zu runs, %zu windows)\n",
+                  timeseries_path_.c_str(), ts_runs_.size(), windows);
+    }
+    if (!flightrec_path_.empty()) {
+      status = flightrec_.DumpToFile(flightrec_path_, "bench exit");
+      if (!status.ok()) {
+        std::fprintf(stderr, "flight recorder export failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("flight recorder: %s (%llu events)\n",
+                  flightrec_path_.c_str(),
+                  static_cast<unsigned long long>(flightrec_.appended()));
+    }
     if (trace_) {
       status = trace_->WriteFile(trace_path_);
       if (!status.ok()) {
@@ -159,6 +286,15 @@ class BenchReporter {
                   trace_path_.c_str(), trace_->event_count(),
                   static_cast<unsigned long long>(trace_->dropped()));
     }
+    uint64_t fatal = 0;
+    for (const TsRun& run : ts_runs_) {
+      if (run.watchdog) fatal += run.watchdog->fatal_alerts();
+    }
+    if (fatal > 0) {
+      std::fprintf(stderr, "%llu fatal SLO alert(s) — failing the bench\n",
+                   static_cast<unsigned long long>(fatal));
+      return 1;
+    }
     return 0;
   }
 
@@ -167,15 +303,42 @@ class BenchReporter {
     std::string label;
     std::unique_ptr<obs::SpanRecorder> recorder;
   };
+  /// Watchdog before sampler: the sampler's destructor finalizes trailing
+  /// windows, which evaluates the watchdog.
+  struct TsRun {
+    std::string label;
+    std::unique_ptr<obs::SloWatchdog> watchdog;
+    std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  };
+
+  Status LoadSloFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    // Qualified: the Result(...) accessor above shadows xssd::Result<T>.
+    xssd::Result<std::vector<obs::SloRule>> rules =
+        obs::ParseSloRules(text.str());
+    if (!rules.ok()) return rules.status();
+    for (obs::SloRule& rule : *rules) slo_rules_.push_back(std::move(rule));
+    return Status::OK();
+  }
 
   std::string name_;
   std::string metrics_path_;
   std::string trace_path_;
   std::string breakdown_path_;
+  std::string timeseries_path_;
+  std::string flightrec_path_;
+  uint64_t ts_interval_us_ = 1000;
+  bool flag_error_ = false;
   std::vector<std::string> positional_;
   obs::MetricsRegistry registry_;
+  obs::FlightRecorder flightrec_;
   std::unique_ptr<obs::ChromeTraceWriter> trace_;
   std::vector<SpanRun> span_runs_;
+  std::vector<obs::SloRule> slo_rules_;
+  std::vector<TsRun> ts_runs_;
 };
 
 }  // namespace xssd::bench

@@ -131,6 +131,7 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
 
   fault::FaultInjector injector(&sim, plan, seed);
   injector.SetMetrics(&reporter.registry());
+  injector.SetFlightRecorder(reporter.flight_recorder());
   primary.ArmFaults(&injector, /*install_crash_handler=*/false);
   bool drained = false;
   bool crash_graceful = true;
@@ -145,6 +146,9 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
   });
   primary.EnableMetrics(&reporter.registry(), "pri.");
   secondary.EnableMetrics(&reporter.registry(), "sec.");
+  primary.device().EnableFlightRecorder(reporter.flight_recorder());
+  secondary.device().EnableFlightRecorder(reporter.flight_recorder());
+  reporter.AttachTimeSeries(&sim, plan.name.empty() ? "plan" : plan.name);
   // Always-on span recording: the scenario's metrics snapshot carries a
   // latency-breakdown block, and segment/e2e conservation joins the
   // campaign invariants.

@@ -60,6 +60,7 @@ RunResult RunOne(Method method, uint32_t workers, sim::SimTime measure,
                  bench::BenchReporter* reporter) {
   sim::Simulator sim;
   reporter->AttachTrace(&sim, RunLabel(method, workers));
+  reporter->AttachTimeSeries(&sim, RunLabel(method, workers));
 
   core::BackingKind backing = method == Method::kVillarsDram
                                   ? core::BackingKind::kDram

@@ -44,6 +44,7 @@ RunResult RunOne(double update_period_us, sim::SimTime duration,
   // NTB hop latency (the serial backends merge the domains identically).
   sim.ConfigureDomains(2);
   reporter->AttachTrace(&sim, RunLabel(update_period_us));
+  reporter->AttachTimeSeries(&sim, RunLabel(update_period_us));
   core::VillarsConfig config =
       bench::PaperVillarsConfig(core::BackingKind::kSram);
   pcie::FabricConfig secondary_fabric = bench::PaperFabricConfig();

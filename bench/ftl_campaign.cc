@@ -92,7 +92,8 @@ struct Gate {
 // the number of ops issued (the crash run stops early).
 int Churn(ftl::Ftl& ftl, sim::Simulator& sim, sim::Rng& rng, uint64_t lpns,
           int ops, std::vector<sim::SimTime>* append_latencies,
-          const fault::FaultInjector* injector) {
+          const fault::FaultInjector* injector,
+          obs::LatencyRecorder* append_ns = nullptr) {
   const uint64_t log_ring = 256;   // hot destage set: the fig09 log tail
   const uint64_t warm_set = lpns - log_ring;
   uint64_t log_head = 0;
@@ -106,9 +107,14 @@ int Churn(ftl::Ftl& ftl, sim::Simulator& sim, sim::Rng& rng, uint64_t lpns,
       sim::SimTime start = sim.Now();
       ftl.WriteDirect(ftl::IoClass::kDestage, lpn,
                       std::vector<uint8_t>(4096, fill),
-                      [&, start](Status s) {
-                        if (s.ok() && append_latencies != nullptr) {
+                      [&, start, append_ns](Status s) {
+                        if (!s.ok()) return;
+                        if (append_latencies != nullptr) {
                           append_latencies->push_back(sim.Now() - start);
+                        }
+                        if (append_ns != nullptr) {
+                          append_ns->Add(
+                              static_cast<double>(sim.Now() - start));
                         }
                       });
     } else {
@@ -134,7 +140,13 @@ int RunSteady(bench::BenchReporter& reporter, uint64_t seed,
                      flash::Reliability{}, seed);
   ftl::Ftl ftl(&sim, &array, CampaignConfig());
   ftl.SetMetrics(&reporter.registry(), "");
+  ftl.SetFlightRecorder(reporter.flight_recorder());
   ftl.scheduler().set_policy(ftl::SchedulingPolicy::kDestagePriority);
+  // Registered unconditionally so the metrics snapshot is identical with
+  // sampling on or off; the sampler additionally windows it when attached.
+  obs::LatencyRecorder* append_ns =
+      reporter.registry().GetLatency("ftl_campaign.append_ns");
+  reporter.AttachTimeSeries(&sim, "steady");
   sim::Rng rng(seed);
 
   // 90% of logical space (~79% of physical pages): far past the point
@@ -164,7 +176,7 @@ int RunSteady(bench::BenchReporter& reporter, uint64_t seed,
   ftl.scheduler().ResetStats();
   std::vector<sim::SimTime> append_latencies;
   Churn(ftl, sim, rng, lpns, /*ops=*/24000, &append_latencies,
-        /*injector=*/nullptr);
+        /*injector=*/nullptr, append_ns);
 
   const uint64_t steady_hosts = ftl.stats().host_writes - fill_hosts;
   const uint64_t steady_programs = ftl.stats().flash_programs - fill_programs;
@@ -265,8 +277,12 @@ int RunCrash(bench::BenchReporter& reporter, uint64_t seed, Gate& gate) {
           .Crash("ftl.gc.relocate", /*after_hits=*/120, /*graceful=*/false)
           .Build();
   fault::FaultInjector injector(&sim, plan, seed);
+  injector.SetFlightRecorder(reporter.flight_recorder());
   ftl::Ftl ftl(&sim, &array, CampaignConfig());
+  ftl.SetMetrics(&reporter.registry(), "crash.");
   ftl.SetFaultInjector(&injector, "");
+  ftl.SetFlightRecorder(reporter.flight_recorder(), "crash");
+  reporter.AttachTimeSeries(&sim, "crash");
   sim::Rng rng(seed);
 
   const uint64_t lpns = ftl.page_map().lpn_count() * 90 / 100;
@@ -338,9 +354,41 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("FTL steady-state campaign (seed " +
                      std::to_string(seed) + ")");
+  if (reporter.sampling_enabled()) {
+    // Headline gates as declarative SLO rules, evaluated per window by the
+    // samplers AttachTimeSeries creates. The write-cliff rule is the phase
+    // detector: fill runs at WA ~= 1.0, steady churn past the cliff pushes
+    // the ftl.write_amp gauge beyond 1.5 and holds it there.
+    obs::SloRule cliff;
+    cliff.name = "write_cliff";
+    cliff.metric = "ftl.write_amp";
+    cliff.pred = obs::SloRule::Pred::kGt;
+    cliff.threshold = 1.5;
+    cliff.for_windows = 2;
+    reporter.AddSloRule(cliff);
+    obs::SloRule tail;
+    tail.name = "append_tail";
+    tail.metric = "ftl_campaign.append_ns";
+    tail.stat = "p99";
+    tail.pred = obs::SloRule::Pred::kGt;
+    tail.threshold = p99_bound_us * 4.0 * 1000.0;  // well past the gate
+    tail.for_windows = 3;
+    tail.fatal = true;
+    reporter.AddSloRule(tail);
+  }
   Gate gate;
   RunSteady(reporter, seed, p99_bound_us, gate);
   RunCrash(reporter, seed, gate);
+  if (reporter.sampling_enabled()) {
+    // The watchdog must have *seen* the cliff: the rule alerting is the
+    // time-series pipeline's end-to-end proof (windows closed, the gauge
+    // was sampled, the streak logic fired).
+    gate.Check(reporter.SloAlerts("write_cliff") >= 1,
+               "watchdog never alerted on the write cliff");
+    std::printf("watchdog: write_cliff alerts=%llu\n",
+                static_cast<unsigned long long>(
+                    reporter.SloAlerts("write_cliff")));
+  }
   reporter.SetResult("campaign", "gate_failures",
                      static_cast<double>(gate.failures));
   std::printf("ftl_campaign seed=%llu %s (%d gate failures)\n",

@@ -173,6 +173,8 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
     return 1;
   }
   supervisor.Start();
+  supervisor.SetFlightRecorder(reporter.flight_recorder());
+  reporter.AttachTimeSeries(&sim, plan.name.empty() ? "plan" : plan.name);
   // Always-on span recording: the scenario's metrics snapshot carries a
   // latency-breakdown block, and the conservation invariant below becomes
   // part of the campaign's pass/fail verdict.
@@ -181,6 +183,7 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
     nodes[i]->EnableMetrics(&reporter.registry(),
                             "n" + std::to_string(i) + ".");
     nodes[i]->EnableSpans(&spans, "n" + std::to_string(i));
+    nodes[i]->device().EnableFlightRecorder(reporter.flight_recorder());
   }
 
   int failures = 0;
@@ -264,7 +267,13 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
     injector = std::make_unique<fault::FaultInjector>(&sim, plan, seed);
     nodes[0]->ntb().set_fault_injector(injector.get());
   }
-  if (injector) injector->SetMetrics(&reporter.registry());
+  if (injector) {
+    injector->SetMetrics(&reporter.registry());
+    injector->SetFlightRecorder(reporter.flight_recorder());
+  }
+  if (inbound_injector) {
+    inbound_injector->SetFlightRecorder(reporter.flight_recorder());
+  }
 
   check(append_chunked(nodes[0]->client(), stream.data(), kAckedBytes) ==
             kAckedBytes,
@@ -281,6 +290,7 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
     // acked watermark is established.
     injector = std::make_unique<fault::FaultInjector>(&sim, plan, seed);
     injector->SetMetrics(&reporter.registry());
+    injector->SetFlightRecorder(reporter.flight_recorder());
     nodes[0]->ArmFaults(injector.get(), /*install_crash_handler=*/false);
     bool killed = false;
     injector->SetCrashHandler([&](const fault::FaultSpec&) {
@@ -461,6 +471,20 @@ int RunCampaign(bench::BenchReporter& reporter, const fault::FaultPlan& plan,
 int main(int argc, char** argv) {
   using namespace xssd;
   bench::BenchReporter reporter(argc, argv, "ha_campaign");
+  if (reporter.sampling_enabled()) {
+    // Split-brain sentinel, one rule per member: any window where a
+    // device's term fence rejects ring writes is worth an alert — after a
+    // failover that is the deposed leader still writing.
+    for (int i = 0; i < 3; ++i) {
+      obs::SloRule fenced;
+      fenced.name = "fenced_writes_n" + std::to_string(i);
+      fenced.metric = "n" + std::to_string(i) + ".transport.fenced_writes";
+      fenced.pred = obs::SloRule::Pred::kGt;
+      fenced.threshold = 0;
+      fenced.for_windows = 1;
+      reporter.AddSloRule(fenced);
+    }
+  }
 
   std::string plan_arg = "kill-primary";
   uint64_t seed = 1;

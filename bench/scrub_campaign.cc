@@ -107,6 +107,8 @@ int RunAging(bench::BenchReporter& reporter, uint64_t seed, bool scrub_on,
   ftl::PatrolScrubber scrubber(&sim, &ftl, &array, CampaignScrub(scrub_on));
   scrubber.SetMetrics(&reporter.registry(), label + ".");
   scrubber.Start();
+  ftl.SetFlightRecorder(reporter.flight_recorder(), label);
+  reporter.AttachTimeSeries(&sim, label);
   sim::Rng rng(seed);
 
   // Fill 70% of logical space with seeded content: cold data the retention
@@ -380,6 +382,18 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("Media-reliability scrub campaign (seed " +
                      std::to_string(seed) + ")");
+  if (reporter.sampling_enabled()) {
+    // Media-health watch: the riskiest block's expected raw errors as a
+    // fraction of the ECC budget. Refreshes trigger at 0.5 (refresh_margin)
+    // — a sustained sit above 0.45 means decay is outrunning the scrubber.
+    obs::SloRule pressure;
+    pressure.name = "refresh_pressure";
+    pressure.metric = "scrub_on.scrub.refresh_pressure";
+    pressure.pred = obs::SloRule::Pred::kGt;
+    pressure.threshold = 0.45;
+    pressure.for_windows = 3;
+    reporter.AddSloRule(pressure);
+  }
   Gate gate;
   RunAging(reporter, seed, /*scrub_on=*/false, gate);
   RunAging(reporter, seed, /*scrub_on=*/true, gate);

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/flightrec.h"
 
 namespace xssd::core {
 
@@ -138,6 +139,12 @@ void DestageModule::EmitPage(uint32_t len) {
     ftl_->Trim(lba);
     ++stats_.ring_trims;
     if (m_ring_trims_) m_ring_trims_->Add();
+    if (flightrec_ != nullptr) {
+      flightrec_->Record(sim_->Now(), "destage",
+                         fr_tag_ + "ring wrap: trimmed slot lba " +
+                             std::to_string(lba) + " for seq " +
+                             std::to_string(next_sequence_));
+    }
   }
   ++next_sequence_;
   destage_cursor_ = end;

@@ -11,6 +11,10 @@
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 
+namespace xssd::obs {
+class FlightRecorder;
+}  // namespace xssd::obs
+
 namespace xssd::core {
 
 /// Destage statistics.
@@ -98,6 +102,16 @@ class DestageModule {
   void SetFaultInjector(fault::FaultInjector* injector,
                         std::string site_prefix);
 
+  /// Attach a flight recorder (nullptr detaches). Records ring wraps —
+  /// each reuse of a log-ring slot trims the superseded page, a rare,
+  /// load-bearing event worth having in every post-mortem. `node_tag`
+  /// prefixes messages per device (e.g. "pri").
+  void SetFlightRecorder(obs::FlightRecorder* recorder,
+                         const std::string& node_tag = "") {
+    flightrec_ = recorder;
+    fr_tag_ = node_tag.empty() ? "" : node_tag + " ";
+  }
+
   // -- Conformance observation taps (src/check) -----------------------------
   // Pure observers, called in addition to the normal control flow; the
   // checker's reference model cross-checks each step. Detach with nullptr.
@@ -167,6 +181,8 @@ class DestageModule {
   std::string site_prefix_;
   obs::SpanRecorder* spans_ = nullptr;
   uint16_t span_node_ = 0;
+  obs::FlightRecorder* flightrec_ = nullptr;
+  std::string fr_tag_;
   EmitObserver emit_observer_;
   DurableObserver durable_observer_;
   DestagedObserver destaged_observer_;

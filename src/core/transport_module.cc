@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/flightrec.h"
 #include "pcie/store_engine.h"
 
 namespace xssd::core {
@@ -99,6 +100,14 @@ bool TransportModule::AdmitRingWrite(uint32_t slot) {
   if (slot < kMaxPeers && writer_terms_[slot] >= term_) return true;
   ++fenced_writes_;
   if (m_fenced_writes_) m_fenced_writes_->Add();
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(
+        sim_->Now(), "transport",
+        fr_tag_ + "fenced stale-term ring write from slot " +
+            std::to_string(slot) + " (writer term " +
+            std::to_string(slot < kMaxPeers ? writer_terms_[slot] : 0) +
+            " < device term " + std::to_string(term_) + ")");
+  }
   return false;
 }
 

@@ -13,6 +13,10 @@
 #include "pcie/fabric.h"
 #include "sim/simulator.h"
 
+namespace xssd::obs {
+class FlightRecorder;
+}  // namespace xssd::obs
+
 namespace xssd::core {
 
 /// \brief The Transport module (paper §4.2): replication of the fast-side
@@ -165,6 +169,16 @@ class TransportModule {
   /// bytes); NTB link spans nest under it via the ambient context.
   void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
 
+  /// Attach a flight recorder (nullptr detaches). Records each fenced
+  /// stale-term ring write — the term fence doing its job is exactly what
+  /// a split-brain post-mortem needs to see. `node_tag` prefixes messages
+  /// per device (e.g. "sec0").
+  void SetFlightRecorder(obs::FlightRecorder* recorder,
+                         const std::string& node_tag = "") {
+    flightrec_ = recorder;
+    fr_tag_ = node_tag.empty() ? "" : node_tag + " ";
+  }
+
  private:
   void UpdateTick();
   void UpdateLagGauge();
@@ -227,6 +241,8 @@ class TransportModule {
 
   obs::SpanRecorder* spans_ = nullptr;
   uint16_t span_node_ = 0;
+  obs::FlightRecorder* flightrec_ = nullptr;
+  std::string fr_tag_;
   /// Open replication.wait spans in stream order; the front is closed once
   /// MinShadow() reaches its end offset. Dropped (left open, skipped by
   /// the analyzer) on role changes.

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/flightrec.h"
 #include "fault/fault_plan.h"
 
 namespace xssd::core {
@@ -74,6 +75,13 @@ void VillarsDevice::EnableSpans(obs::SpanRecorder* spans,
   destage_->SetSpans(spans, node_tag);
   transport_->SetSpans(spans, node_tag);
   ftl_->SetSpans(spans, node_tag);
+}
+
+void VillarsDevice::EnableFlightRecorder(obs::FlightRecorder* recorder) {
+  flightrec_ = recorder;
+  ftl_->SetFlightRecorder(recorder, name_);
+  destage_->SetFlightRecorder(recorder, name_);
+  transport_->SetFlightRecorder(recorder, name_);
 }
 
 void VillarsDevice::ArmFaults(fault::FaultInjector* injector,
@@ -292,6 +300,13 @@ void VillarsDevice::HandleVendorAdmin(
 
 void VillarsDevice::PowerFail(std::function<void()> done) {
   XSSD_LOG(kInfo) << name_ << ": POWER FAIL — emergency destage";
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(sim_->Now(), "device",
+                       name_ + " power fail, emergency destage (supercap "
+                               "budget " +
+                           std::to_string(config_.power.supercap_page_budget) +
+                           " pages)");
+  }
   halted_ = true;  // reject further host traffic immediately
   scrubber_->Stop();
   // Freeze the background pump first so the emergency destage (below)
@@ -300,10 +315,17 @@ void VillarsDevice::PowerFail(std::function<void()> done) {
   cmb_->DrainStagingForPowerLoss();
   destage_->DestageAllForPowerLoss(config_.power.supercap_page_budget,
                                    std::move(done));
+  if (flightrec_ != nullptr) {
+    flightrec_->AutoDump(name_ + " power fail");
+  }
 }
 
 void VillarsDevice::CrashHard() {
   XSSD_LOG(kWarning) << name_ << ": HARD CRASH — no supercap flush";
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(sim_->Now(), "device",
+                       name_ + " hard crash, staged data abandoned");
+  }
   halted_ = true;
   scrubber_->Stop();
   // Order matters: halt the destage pipeline (cancelling any backed-off
@@ -311,9 +333,17 @@ void VillarsDevice::CrashHard() {
   // flash traffic against the dead device.
   destage_->HaltForCrash();
   cmb_->AbandonStagingForCrash();
+  if (flightrec_ != nullptr) {
+    flightrec_->AutoDump(name_ + " hard crash");
+  }
 }
 
 void VillarsDevice::TruncateLog(uint64_t offset) {
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(sim_->Now(), "device",
+                       name_ + " log truncate to offset " +
+                           std::to_string(offset));
+  }
   cmb_->TruncateTo(offset);
   if (destage_->destage_cursor() > offset) {
     // Pages beyond the cut already went to flash and cannot be unwritten;
@@ -333,6 +363,9 @@ void VillarsDevice::TruncateLog(uint64_t offset) {
     if (spans_ != nullptr) {
       destage_->SetSpans(spans_, span_node_tag_);
     }
+    if (flightrec_ != nullptr) {
+      destage_->SetFlightRecorder(flightrec_, name_);
+    }
     cmb_->set_destaged_floor(0);
     WireHooks();
   }
@@ -341,6 +374,11 @@ void VillarsDevice::TruncateLog(uint64_t offset) {
 }
 
 void VillarsDevice::Reboot() {
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(sim_->Now(), "device",
+                       name_ + " reboot into epoch " +
+                           std::to_string(epoch_ + 1));
+  }
   ++epoch_;
   halted_ = false;
   cmb_->ResetForReboot();
@@ -356,6 +394,9 @@ void VillarsDevice::Reboot() {
   }
   if (spans_ != nullptr) {
     destage_->SetSpans(spans_, span_node_tag_);
+  }
+  if (flightrec_ != nullptr) {
+    destage_->SetFlightRecorder(flightrec_, name_);
   }
   // Advance the destage ring cursor past the previous epoch's pages so new
   // destages do not immediately overwrite recovery data. Recovery tooling

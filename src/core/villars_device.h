@@ -114,6 +114,15 @@ class VillarsDevice : public pcie::MmioDevice {
   /// recreated by Reboot()/TruncateLog() is re-instrumented.
   void EnableSpans(obs::SpanRecorder* spans, const std::string& node_tag);
 
+  /// Attach a flight recorder to every component of this device (nullptr
+  /// detaches). Components record their rare, load-bearing events (ring
+  /// wraps, fenced writes, uncorrectable-read escalations, GC collects)
+  /// tagged with this device's name; the device itself records power
+  /// fails, hard crashes, reboots, and log truncations, and AutoDumps the
+  /// ring at both crash flavours. Retained so the destage module recreated
+  /// by Reboot()/TruncateLog() stays instrumented.
+  void EnableFlightRecorder(obs::FlightRecorder* recorder);
+
   /// Attach a fault injector to every component of this device (nullptr
   /// detaches). Crash sites are namespaced `name() + "/"` (a plan site
   /// "destage.emit_page" matches any device; "pri/destage.emit_page" only
@@ -162,6 +171,9 @@ class VillarsDevice : public pcie::MmioDevice {
 
   // Fault injection (set by ArmFaults; survives Reboot()).
   fault::FaultInjector* injector_ = nullptr;
+
+  // Flight recorder (set by EnableFlightRecorder; survives Reboot()).
+  obs::FlightRecorder* flightrec_ = nullptr;
 };
 
 }  // namespace xssd::core

@@ -1,5 +1,7 @@
 #include "fault/fault_injector.h"
 
+#include "obs/flightrec.h"
+
 namespace xssd::fault {
 
 FaultInjector::FaultInjector(sim::Simulator* sim, FaultPlan plan, uint64_t seed)
@@ -40,6 +42,12 @@ void FaultInjector::Count(obs::Counter* counter, uint64_t* total) {
   if (counter != nullptr) counter->Add(1);
 }
 
+void FaultInjector::RecordFault(std::string message) {
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(sim_->Now(), "fault", std::move(message));
+  }
+}
+
 bool FaultInjector::Fires(const FaultSpec& spec) {
   const sim::SimTime now = sim_->Now();
   if (now < spec.at || now >= spec.end()) return false;
@@ -61,18 +69,21 @@ const FaultSpec* FaultInjector::Match(FaultKind kind) {
 bool FaultInjector::InjectFlashProgramFail() {
   if (Match(FaultKind::kFlashProgramFail) == nullptr) return false;
   Count(m_flash_program_fails_, &totals_.flash_program_fails);
+  RecordFault("flash program fail injected");
   return true;
 }
 
 bool FaultInjector::InjectFlashEraseFail() {
   if (Match(FaultKind::kFlashEraseFail) == nullptr) return false;
   Count(m_flash_erase_fails_, &totals_.flash_erase_fails);
+  RecordFault("flash erase fail injected");
   return true;
 }
 
 bool FaultInjector::InjectFlashReadUncorrectable() {
   if (Match(FaultKind::kFlashReadUncorrectable) == nullptr) return false;
   Count(m_flash_read_uncorrectable_, &totals_.flash_read_uncorrectable);
+  RecordFault("uncorrectable flash read injected");
   return true;
 }
 
@@ -80,6 +91,8 @@ sim::SimTime FaultInjector::InjectFlashRetentionDwell() {
   const FaultSpec* spec = Match(FaultKind::kFlashRetention);
   if (spec == nullptr) return 0;
   Count(m_flash_retention_boosts_, &totals_.flash_retention_boosts);
+  RecordFault("retention dwell boost injected (" +
+              std::to_string(spec->delay) + " ns)");
   return spec->delay;
 }
 
@@ -87,16 +100,19 @@ uint64_t FaultInjector::InjectFlashDisturbReads() {
   const FaultSpec* spec = Match(FaultKind::kFlashDisturb);
   if (spec == nullptr) return 0;
   Count(m_flash_disturb_boosts_, &totals_.flash_disturb_boosts);
+  RecordFault("read-disturb boost injected");
   return static_cast<uint64_t>(spec->magnitude);
 }
 
 FaultInjector::NtbDecision FaultInjector::NtbForwardDecision() {
   if (Match(FaultKind::kNtbLinkDown) != nullptr) {
     Count(m_ntb_dropped_, &totals_.ntb_dropped);
+    RecordFault("ntb write dropped (link down)");
     return {LinkAction::kDrop, 0};
   }
   if (const FaultSpec* spec = Match(FaultKind::kNtbLinkStall)) {
     Count(m_ntb_stalled_, &totals_.ntb_stalled);
+    RecordFault("ntb write stalled " + std::to_string(spec->delay) + " ns");
     return {LinkAction::kStall, spec->delay};
   }
   return {LinkAction::kForward, 0};
@@ -106,6 +122,7 @@ sim::SimTime FaultInjector::InjectPcieStoreDelay() {
   const FaultSpec* spec = Match(FaultKind::kPcieStoreDelay);
   if (spec == nullptr) return 0;
   Count(m_pcie_delayed_, &totals_.pcie_delayed);
+  RecordFault("pcie store delayed " + std::to_string(spec->delay) + " ns");
   return spec->delay;
 }
 
@@ -113,6 +130,7 @@ uint64_t FaultInjector::InjectPcieTruncation(uint64_t len) {
   if (len == 0) return 0;
   if (Match(FaultKind::kPcieStoreTruncate) == nullptr) return len;
   Count(m_pcie_truncated_, &totals_.pcie_truncated);
+  RecordFault("pcie store truncated");
   // Drop the tail: at least one byte lands (a fully-dropped store is the
   // NTB link-down fault's job), at least one byte is lost.
   if (len == 1) return 0;
@@ -123,6 +141,7 @@ FaultInjector::NvmeDecision FaultInjector::InjectNvmeTimeout() {
   const FaultSpec* spec = Match(FaultKind::kNvmeTimeout);
   if (spec == nullptr) return {};
   Count(m_nvme_timeouts_, &totals_.nvme_timeouts);
+  RecordFault("nvme command timeout injected");
   return {true, spec->delay};
 }
 
@@ -144,7 +163,14 @@ bool FaultInjector::CrashPoint(std::string_view site) {
     if (++clause.hits < clause.spec.after_hits) continue;
     crashed_ = true;
     Count(m_crashes_, &totals_.crashes);
+    RecordFault("crash clause fired at site " + std::string(site) +
+                (clause.spec.graceful ? " (graceful)" : " (hard)"));
     if (crash_handler_) crash_handler_(clause.spec);
+    // Dump after the handler so the post-mortem includes the device's own
+    // halt/power-fail entries alongside the injection that caused them.
+    if (flightrec_ != nullptr) {
+      flightrec_->AutoDump("injected crash at " + std::string(site));
+    }
     return true;
   }
   return false;

@@ -13,6 +13,10 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 
+namespace xssd::obs {
+class FlightRecorder;
+}  // namespace xssd::obs
+
 namespace xssd::fault {
 
 /// \brief Seeded, deterministic fault oracle consulted by the component
@@ -37,6 +41,14 @@ class FaultInjector {
   /// Register `fault.*` counters; pass nullptr to detach. Counters record
   /// *injected* events; the components' own metrics record how they coped.
   void SetMetrics(obs::MetricsRegistry* registry);
+
+  /// Attach a flight recorder (nullptr detaches): every injected fault and
+  /// crash-site firing is recorded, and a firing crash clause AutoDumps
+  /// the ring after the crash handler runs — the post-mortem then shows
+  /// both the injection and the device's reaction to it.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    flightrec_ = recorder;
+  }
 
   /// Invoked (once, synchronously) when a crash clause fires; receives the
   /// spec so the handler can honour `graceful`.
@@ -119,6 +131,9 @@ class FaultInjector {
 
   void Count(obs::Counter* counter, uint64_t* total);
 
+  /// Flight-recorder append for one injected fault (no-op when detached).
+  void RecordFault(std::string message);
+
   sim::Simulator* sim_;
   FaultPlan plan_;
   sim::Rng rng_;
@@ -126,6 +141,7 @@ class FaultInjector {
   CrashHandler crash_handler_;
   bool crashed_ = false;
   Totals totals_;
+  obs::FlightRecorder* flightrec_ = nullptr;
 
   obs::Counter* m_flash_program_fails_ = nullptr;
   obs::Counter* m_flash_erase_fails_ = nullptr;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "ftl/oob.h"
+#include "obs/flightrec.h"
 
 namespace xssd::ftl {
 
@@ -75,6 +76,12 @@ void Ftl::SetMetrics(obs::MetricsRegistry* registry,
 void Ftl::SetSpans(obs::SpanRecorder* spans, const std::string& node_tag) {
   spans_ = spans;
   span_node_ = spans ? spans->InternNode(node_tag) : 0;
+}
+
+void Ftl::SetFlightRecorder(obs::FlightRecorder* recorder,
+                            const std::string& node_tag) {
+  flightrec_ = recorder;
+  fr_tag_ = node_tag.empty() ? std::string() : node_tag + " ";
 }
 
 void Ftl::UpdateGauges() {
@@ -322,9 +329,18 @@ void Ftl::ReadPage(IoClass io_class, uint64_t lpn, ReadCallback done) {
           ++stats_.uncorrectable_reads;
           if (m_uncorrectable_reads_) m_uncorrectable_reads_->Add();
           uint64_t block = ppn / array_->geometry().pages_per_block;
+          if (flightrec_ != nullptr) {
+            flightrec_->Record(sim_->Now(), "reliability",
+                               fr_tag_ + "uncorrectable host read ppn=" +
+                                   std::to_string(ppn) + ", escalating block " +
+                                   std::to_string(block));
+          }
           if (EscalateBlock(block, [](Status) {})) {
             ++stats_.escalations;
             if (m_escalations_) m_escalations_->Add();
+          }
+          if (flightrec_ != nullptr) {
+            flightrec_->AutoDump("Corruption escalation on host read");
           }
         }
         done(status, std::move(data));
@@ -522,6 +538,15 @@ bool Ftl::StartReclaim(uint64_t block, CollectMode mode, WriteCallback done) {
 void Ftl::CollectBlock(uint64_t victim, CollectMode mode, WriteCallback done) {
   const flash::Geometry& geom = array_->geometry();
   const bool for_gc = mode == CollectMode::kGc;
+  if (flightrec_ != nullptr) {
+    const char* why = for_gc                            ? "gc collect"
+                      : mode == CollectMode::kRefresh   ? "refresh collect"
+                                                        : "retire collect";
+    flightrec_->Record(sim_->Now(), "ftl",
+                       fr_tag_ + why + " block " + std::to_string(victim) +
+                           ", valid=" +
+                           std::to_string(map_.ValidCount(victim)));
+  }
   // Pages that failed their relocation read. A refresh that hit one must
   // not erase the victim: erasing would unmap the lost lpns and turn a
   // loud Corruption into silent zeros. It degrades to a retire instead.
@@ -543,6 +568,13 @@ void Ftl::CollectBlock(uint64_t victim, CollectMode mode, WriteCallback done) {
       // loudly and the host can escalate to a replica.
       self->allocator_.MarkBad(victim);
       self->wear_.Retire(victim);
+      if (self->flightrec_ != nullptr) {
+        self->flightrec_->Record(
+            self->sim_->Now(), "reliability",
+            self->fr_tag_ + "block " + std::to_string(victim) +
+                " retired unerased, " + std::to_string(*lost) +
+                " lpns lost");
+      }
       ++self->stats_.bad_block_retires;
       if (self->m_bad_block_retires_) self->m_bad_block_retires_->Add();
       ++self->stats_.reliability_retires;

@@ -18,6 +18,10 @@
 #include "obs/span.h"
 #include "sim/bandwidth_server.h"
 
+namespace xssd::obs {
+class FlightRecorder;
+}  // namespace xssd::obs
+
 namespace xssd::fault {
 class FaultInjector;
 }  // namespace xssd::fault
@@ -200,6 +204,13 @@ class Ftl {
   /// and bad-block retries) under the ambient context.
   void SetSpans(obs::SpanRecorder* spans, const std::string& node_tag);
 
+  /// Attach a flight recorder (nullptr detaches): block collects
+  /// (GC/refresh/retire), block retirements, and uncorrectable host reads
+  /// are recorded; a host-read Corruption escalation AutoDumps the ring.
+  /// Entries are tagged with `node_tag` so multi-device runs stay legible.
+  void SetFlightRecorder(obs::FlightRecorder* recorder,
+                         const std::string& node_tag = "");
+
  private:
   struct BufferSlot {
     std::vector<uint8_t> data;
@@ -303,6 +314,8 @@ class Ftl {
   std::string site_prefix_;
   obs::SpanRecorder* spans_ = nullptr;
   uint16_t span_node_ = 0;
+  obs::FlightRecorder* flightrec_ = nullptr;
+  std::string fr_tag_;
 
   // Observability (null until SetMetrics).
   obs::Counter* m_host_writes_ = nullptr;

@@ -21,6 +21,7 @@ void PatrolScrubber::SetMetrics(obs::MetricsRegistry* registry,
   m_refreshes_ = registry->GetCounter(prefix + "scrub.refreshes");
   m_escalations_ = registry->GetCounter(prefix + "scrub.escalations");
   m_retired_blocks_ = registry->GetCounter(prefix + "scrub.retired_blocks");
+  m_refresh_pressure_ = registry->GetGauge(prefix + "scrub.refresh_pressure");
 }
 
 void PatrolScrubber::Start() {
@@ -76,12 +77,20 @@ void PatrolScrubber::Tick() {
 
   double ber = 0.0;
   uint64_t block = PickRiskiest(&ber);
-  if (block == kUnmapped) return;
+  if (block == kUnmapped) {
+    if (m_refresh_pressure_) m_refresh_pressure_->Set(0.0);
+    return;
+  }
 
   double mean_errors = ber * geom.page_bytes * 8.0;
   double refresh_at =
       config_.refresh_margin * array_->reliability().ecc_correctable_bits;
   uint32_t valid = ftl_->page_map().ValidCount(block);
+  if (m_refresh_pressure_) {
+    double budget_bits = array_->reliability().ecc_correctable_bits;
+    m_refresh_pressure_->Set(budget_bits > 0 ? mean_errors / budget_bits
+                                             : 0.0);
+  }
   if (mean_errors >= refresh_at && budget_ >= static_cast<double>(valid)) {
     uint64_t retires_before = ftl_->stats().reliability_retires;
     if (ftl_->RefreshBlock(block, [this, retires_before](Status) {

@@ -105,6 +105,10 @@ class PatrolScrubber {
   obs::Counter* m_refreshes_ = nullptr;
   obs::Counter* m_escalations_ = nullptr;
   obs::Counter* m_retired_blocks_ = nullptr;
+  /// Riskiest block's expected raw errors as a fraction of the ECC
+  /// budget; crossing refresh_margin triggers a refresh. Updated each
+  /// non-deferred tick — the watchdog's view of media health.
+  obs::Gauge* m_refresh_pressure_ = nullptr;
 };
 
 }  // namespace xssd::ftl

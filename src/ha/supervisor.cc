@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/flightrec.h"
 #include "host/sync.h"
 
 namespace xssd::ha {
@@ -346,6 +347,13 @@ void ReplicaSupervisor::Promote(size_t i, uint64_t new_term) {
   XSSD_LOG(kInfo) << "ha: member " << i << " promoting at term " << new_term
                   << " (base " << base << ", " << live.size()
                   << " live peers)";
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(sim_->Now(), "ha",
+                       "member " + std::to_string(i) + " promoting at term " +
+                           std::to_string(new_term) + " (base " +
+                           std::to_string(base) + ", " +
+                           std::to_string(live.size()) + " live peers)");
+  }
   std::vector<nvme::Command> cmds;
   cmds.push_back(SetTermCmd(new_term, i));
   cmds.push_back(ClearPeersCmd());
@@ -396,6 +404,14 @@ void ReplicaSupervisor::Adopt(size_t i, size_t leader, const Heartbeat& hb) {
   XSSD_LOG(kInfo) << "ha: member " << i << (was_leader ? " demoting," : "")
                   << " adopting leader " << leader << " at term " << new_term
                   << " (join base " << join << ")";
+  if (flightrec_ != nullptr) {
+    flightrec_->Record(
+        sim_->Now(), "ha",
+        "member " + std::to_string(i) +
+            std::string(was_leader ? " demoting," : "") + " adopting leader " +
+            std::to_string(leader) + " at term " + std::to_string(new_term) +
+            " (join base " + std::to_string(join) + ")");
+  }
   std::vector<nvme::Command> cmds;
   cmds.push_back(SetTermCmd(new_term, leader));
   cmds.push_back(TruncateCmd(join));
@@ -431,6 +447,12 @@ void ReplicaSupervisor::LeaderDuties(size_t i) {
     if (agent.in_group[j] && !fresh && live * 2 > nodes_.size()) {
       agent.busy = true;
       XSSD_LOG(kInfo) << "ha: leader " << i << " removing member " << j;
+      if (flightrec_ != nullptr) {
+        flightrec_->Record(sim_->Now(), "ha",
+                           "leader " + std::to_string(i) +
+                               " removing suspected member " +
+                               std::to_string(j));
+      }
       RunAdminChain(i, {RemovePeerCmd(j)}, 0, [this, i, j](Status status) {
         agents_[i].busy = false;
         if (status.ok()) {
@@ -448,6 +470,11 @@ void ReplicaSupervisor::LeaderDuties(size_t i) {
         view.hb.leader == i) {
       agent.busy = true;
       XSSD_LOG(kInfo) << "ha: leader " << i << " re-admitting member " << j;
+      if (flightrec_ != nullptr) {
+        flightrec_->Record(sim_->Now(), "ha",
+                           "leader " + std::to_string(i) +
+                               " re-admitting member " + std::to_string(j));
+      }
       nvme::Command add;
       add.opcode = static_cast<uint8_t>(nvme::AdminOpcode::kXssdAddPeer);
       add.cdw10 = static_cast<uint32_t>(j);

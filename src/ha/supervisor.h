@@ -12,6 +12,10 @@
 #include "nvme/command.h"
 #include "sim/simulator.h"
 
+namespace xssd::obs {
+class FlightRecorder;
+}  // namespace xssd::obs
+
 namespace xssd::ha {
 
 /// \brief Replication-lifecycle policy knobs.
@@ -98,6 +102,14 @@ class ReplicaSupervisor {
   /// term 1, member 0 primary, everyone else secondary. Blocking.
   Status Setup();
 
+  /// Attach a flight recorder (nullptr detaches). Records the HA state
+  /// machine's rare transitions — promotions, demotions/leader adoption,
+  /// membership removals and re-admissions — stamped in virtual time, so
+  /// a failover post-mortem reads as a timeline.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    flightrec_ = recorder;
+  }
+
   /// Start the per-member agent loops. Call after Setup().
   void Start();
   /// Stop the agent loops (pending ticks become no-ops).
@@ -167,6 +179,8 @@ class ReplicaSupervisor {
   HaConfig config_;
   std::vector<Agent> agents_;
   bool running_ = false;
+
+  obs::FlightRecorder* flightrec_ = nullptr;
 
   size_t leader_hint_ = 0;
   uint64_t promotions_ = 0;

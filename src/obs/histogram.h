@@ -39,6 +39,15 @@ struct DurationStat {
     return count == 0 ? 0 : total / static_cast<double>(count);
   }
 
+  /// Bucket-interpolated percentile, guarded against an empty histogram
+  /// and clamped to the exact [min, max] (bucket interpolation can
+  /// otherwise land above the largest recorded sample).
+  double PercentileClamped(double p) const {
+    if (count == 0) return 0;
+    double v = hist.Percentile(p);
+    return v < min ? min : (v > max ? max : v);
+  }
+
   /// Deterministic JSON object: exact aggregates, bucket-interpolated
   /// percentiles, and the non-empty buckets as [lo, hi, count] triples.
   void AppendJson(std::string* out) const {
@@ -47,8 +56,9 @@ struct DurationStat {
     *out += ", \"min_ns\": " + JsonNumber(min);
     *out += ", \"max_ns\": " + JsonNumber(max);
     *out += ", \"mean_ns\": " + JsonNumber(Mean());
-    *out += ", \"p50_ns\": " + JsonNumber(hist.Percentile(50));
-    *out += ", \"p99_ns\": " + JsonNumber(hist.Percentile(99));
+    *out += ", \"p50_ns\": " + JsonNumber(PercentileClamped(50));
+    *out += ", \"p99_ns\": " + JsonNumber(PercentileClamped(99));
+    *out += ", \"p999_ns\": " + JsonNumber(PercentileClamped(99.9));
     *out += ", \"buckets\": [";
     bool first = true;
     for (const Log2Histogram::Bucket& b : hist.NonEmptyBuckets()) {

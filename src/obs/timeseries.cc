@@ -1,0 +1,249 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+
+namespace xssd::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(sim::Simulator* sim,
+                                     MetricsRegistry* registry,
+                                     TimeSeriesOptions options)
+    : sim_(sim), registry_(registry), options_(options) {
+  XSSD_CHECK(options_.interval > 0);
+  options_.max_windows = std::max<size_t>(1, options_.max_windows);
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Finalize(); }
+
+void TimeSeriesSampler::Start() {
+  XSSD_CHECK(!started_);
+  started_ = true;
+  start_ = end_ = sim_->Now();
+  next_due_ = start_ + options_.interval;
+  // Base snapshots: metrics registered before this run (registries span
+  // bench runs) must not charge their history to window 0. Latency
+  // recorders flush any stale partial window from a previous sampler.
+  for (const auto& [name, counter] : registry_->counters()) {
+    ValueSeries& s = counter_series_[name];
+    s.last_raw = counter->value();
+  }
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    (void)gauge;
+    gauge_series_[name];
+  }
+  for (const auto& [name, rec] : registry_->latencies()) {
+    latency_series_[name];
+    rec->EnableWindowTracking();
+    rec->TakeWindow();
+  }
+  m_windows_ = registry_->GetCounter("obs.timeseries.windows");
+  counter_series_["obs.timeseries.windows"];  // self-series from window 0
+  sim_->set_time_observer(this, next_due_);
+  attached_ = true;
+}
+
+sim::SimTime TimeSeriesSampler::OnTimeAdvance(sim::SimTime when) {
+  if (finalized_) return ~sim::SimTime{0};
+  while (next_due_ <= when) {
+    CloseWindow(next_due_);
+    next_due_ += options_.interval;
+  }
+  return next_due_;
+}
+
+void TimeSeriesSampler::OnSimulatorTearDown(sim::SimTime last_now) {
+  teardown_now_ = last_now;
+  attached_ = false;  // the simulator is going away; do not detach from it
+  Finalize();
+}
+
+void TimeSeriesSampler::Finalize() {
+  if (finalized_ || !started_) {
+    finalized_ = true;
+    return;
+  }
+  finalized_ = true;
+  const sim::SimTime now = attached_ ? sim_->Now() : teardown_now_;
+  // Close the full windows an event-free tail (e.g. RunUntil advancing the
+  // clock to a deadline) left open, then one trailing partial window.
+  while (next_due_ <= now) {
+    CloseWindow(next_due_);
+    next_due_ += options_.interval;
+  }
+  if (now > next_due_ - options_.interval) CloseWindow(now);
+  if (attached_) {
+    sim_->set_time_observer(nullptr, 0);
+    attached_ = false;
+  }
+}
+
+void TimeSeriesSampler::PushValue(ValueSeries* s, double v) {
+  if (s->values.size() == options_.max_windows) {
+    s->values.pop_front();
+    ++s->first_window;
+    ++s->evicted;
+    ++evicted_values_;
+  }
+  s->values.push_back(v);
+}
+
+void TimeSeriesSampler::CloseWindow(sim::SimTime window_end) {
+  const size_t w = windows_;
+  for (const auto& [name, counter] : registry_->counters()) {
+    auto [it, created] = counter_series_.try_emplace(name);
+    ValueSeries& s = it->second;
+    if (created) s.first_window = w;  // registered mid-run: starts at 0
+    const uint64_t cur = counter->value();
+    // Reset()-safe delta: a mid-run registry reset makes cur < last_raw;
+    // the post-reset value is the window's whole accumulation.
+    const uint64_t delta = cur >= s.last_raw ? cur - s.last_raw : cur;
+    s.last_raw = cur;
+    PushValue(&s, static_cast<double>(delta));
+    if (trace_ != nullptr) {
+      trace_->OnCounterSample(name.c_str(), window_end,
+                              static_cast<double>(delta));
+    }
+  }
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    auto [it, created] = gauge_series_.try_emplace(name);
+    ValueSeries& s = it->second;
+    if (created) s.first_window = w;
+    PushValue(&s, gauge->value());
+    if (trace_ != nullptr) {
+      trace_->OnCounterSample(name.c_str(), window_end, gauge->value());
+    }
+  }
+  for (const auto& [name, rec] : registry_->latencies()) {
+    auto [it, created] = latency_series_.try_emplace(name);
+    LatencySeries& s = it->second;
+    if (created) {
+      s.first_window = w;
+      rec->EnableWindowTracking();
+      rec->TakeWindow();  // discard the partial pre-discovery window
+    }
+    if (s.windows.size() == options_.max_windows) {
+      s.windows.pop_front();
+      ++s.first_window;
+      ++s.evicted;
+      ++evicted_values_;
+    }
+    LatencyWindow win = rec->TakeWindow();
+    s.windows.push_back(win);
+    if (trace_ != nullptr && win.count > 0) {
+      trace_->OnCounterSample((name + ".p99").c_str(), window_end, win.p99);
+    }
+  }
+  ++windows_;
+  end_ = window_end;
+  if (m_windows_ != nullptr) m_windows_->Add();
+  if (watchdog_ != nullptr) watchdog_->OnWindow(*this, w, window_end);
+}
+
+bool TimeSeriesSampler::LastValue(const std::string& metric,
+                                  const std::string& stat,
+                                  double* out) const {
+  if (auto it = counter_series_.find(metric); it != counter_series_.end()) {
+    if (!stat.empty() && stat != "delta") return false;
+    if (it->second.values.empty()) return false;
+    *out = it->second.values.back();
+    return true;
+  }
+  if (auto it = gauge_series_.find(metric); it != gauge_series_.end()) {
+    if (!stat.empty() && stat != "value") return false;
+    if (it->second.values.empty()) return false;
+    *out = it->second.values.back();
+    return true;
+  }
+  if (auto it = latency_series_.find(metric); it != latency_series_.end()) {
+    if (it->second.windows.empty()) return false;
+    const LatencyWindow& win = it->second.windows.back();
+    if (stat == "count") {
+      *out = static_cast<double>(win.count);
+    } else if (stat == "min") {
+      *out = win.min;
+    } else if (stat == "max") {
+      *out = win.max;
+    } else if (stat == "mean") {
+      *out = win.mean;
+    } else if (stat == "p50") {
+      *out = win.p50;
+    } else if (stat == "p99") {
+      *out = win.p99;
+    } else if (stat == "p999") {
+      *out = win.p999;
+    } else {
+      return false;  // latency series have no default stat
+    }
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+void AppendValueSeries(
+    const std::map<std::string, TimeSeriesSampler::ValueSeries>& series,
+    std::string* out) {
+  bool first = true;
+  for (const auto& [name, s] : series) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "\"" + JsonEscape(name) + "\": {\"first_window\": " +
+            std::to_string(s.first_window) +
+            ", \"evicted\": " + std::to_string(s.evicted) + ", \"values\": [";
+    bool fv = true;
+    for (double v : s.values) {
+      if (!fv) *out += ", ";
+      fv = false;
+      *out += JsonNumber(v);
+    }
+    *out += "]}";
+  }
+}
+
+}  // namespace
+
+void TimeSeriesSampler::AppendJson(std::string* out) const {
+  *out += "{\"interval_ns\": " + std::to_string(options_.interval);
+  *out += ", \"start_ns\": " + std::to_string(start_);
+  *out += ", \"end_ns\": " + std::to_string(end_);
+  *out += ", \"windows\": " + std::to_string(windows_);
+  *out += ", \"max_windows\": " + std::to_string(options_.max_windows);
+  *out += ", \"evicted_values\": " + std::to_string(evicted_values_);
+  *out += ", \"counters\": {";
+  AppendValueSeries(counter_series_, out);
+  *out += "}, \"gauges\": {";
+  AppendValueSeries(gauge_series_, out);
+  *out += "}, \"latencies\": {";
+  bool first = true;
+  for (const auto& [name, s] : latency_series_) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "\"" + JsonEscape(name) + "\": {\"first_window\": " +
+            std::to_string(s.first_window) +
+            ", \"evicted\": " + std::to_string(s.evicted) +
+            ", \"windows\": [";
+    bool fw = true;
+    for (const LatencyWindow& w : s.windows) {
+      if (!fw) *out += ", ";
+      fw = false;
+      *out += "[" + std::to_string(w.count) + ", " + JsonNumber(w.min) +
+              ", " + JsonNumber(w.max) + ", " + JsonNumber(w.mean) + ", " +
+              JsonNumber(w.p50) + ", " + JsonNumber(w.p99) + ", " +
+              JsonNumber(w.p999) + "]";
+    }
+    *out += "]}";
+  }
+  *out += "}";
+  if (watchdog_ != nullptr) {
+    *out += ", \"watchdog\": ";
+    watchdog_->AppendJson(out);
+  }
+  *out += "}";
+}
+
+}  // namespace xssd::obs

@@ -24,6 +24,13 @@ Simulator::DomainScope::DomainScope(Simulator* sim, uint32_t domain)
 Simulator::DomainScope::~DomainScope() { sim_->idle_domain_ = saved_; }
 
 Simulator::~Simulator() {
+  if (time_obs_ != nullptr) {
+    // Benches run one stack-local simulator per run; tearing it down is the
+    // natural "run over" signal for an attached sampler (it closes its
+    // final partial window there).
+    time_obs_->OnSimulatorTearDown(now_);
+    time_obs_ = nullptr;
+  }
   for (auto& dp : domains_) {
     dp->wheel.ReleaseAll(&dp->pool);
     while (!dp->inbox.empty()) {
@@ -142,6 +149,7 @@ bool Simulator::StepBoundedSingle(SimTime bound) {
   if (UsesWheel()) {
     EventPool::Node* n = d->wheel.PopNext(bound);
     if (n == nullptr) return false;
+    if (n->when >= obs_due_) NotifyTimeObserver(n->when);
     now_ = n->when;
     ++d->executed;
     if (trace_) trace_->OnEventBegin(n->when, n->seq);
@@ -155,6 +163,7 @@ bool Simulator::StepBoundedSingle(SimTime bound) {
   // new events (which may reallocate the underlying heap).
   HeapEvent ev = std::move(const_cast<HeapEvent&>(d->heap.top()));
   d->heap.pop();
+  if (ev.when >= obs_due_) NotifyTimeObserver(ev.when);
   now_ = ev.when;
   ++d->executed;
   if (trace_) trace_->OnEventBegin(ev.when, ev.key);
@@ -193,6 +202,7 @@ bool Simulator::StepBoundedMerge(SimTime bound) {
     }
   }
   if (best == nullptr) return false;
+  if (best_when >= obs_due_) NotifyTimeObserver(best_when);
   best->now = best_when;
   now_ = best_when;
   ++best->executed;
@@ -229,12 +239,16 @@ bool Simulator::ShouldRunParallel() {
       force_serial_) {
     return false;
   }
-  if (trace_ == nullptr && lookahead_ != kNoLookahead) return true;
+  if (trace_ == nullptr && time_obs_ == nullptr &&
+      lookahead_ != kNoLookahead) {
+    return true;
+  }
   if (!serial_fallback_warned_) {
     serial_fallback_warned_ = true;
     XSSD_LOG(kWarning) << "parallel scheduler falling back to serial merge ("
-                       << (trace_ != nullptr ? "trace sink attached"
-                                             : "no lookahead declared")
+                       << (trace_ != nullptr     ? "trace sink attached"
+                           : time_obs_ != nullptr ? "time observer attached"
+                                                  : "no lookahead declared")
                        << "); results are identical, just single-threaded";
   }
   return false;

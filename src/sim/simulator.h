@@ -19,6 +19,33 @@ class TraceSink;
 
 namespace xssd::sim {
 
+/// \brief Passive observer of virtual-time advancement (the time-series
+/// sampler in obs/timeseries.h).
+///
+/// Attached via Simulator::set_time_observer() with a first due time. The
+/// simulator calls OnTimeAdvance(when) immediately *before* executing any
+/// event whose timestamp is >= the current due time; the observer snapshots
+/// whatever it watches and returns the next due time. Because the observer
+/// never appears in the event queue, never advances the clock, and must not
+/// schedule events or consume randomness, an observed run executes the
+/// exact same event sequence as an unobserved one — zero perturbation by
+/// construction (the obs CI gate relies on this). An attached observer
+/// forces the parallel backend into its serial merge, like a trace sink.
+class TimeObserver {
+ public:
+  virtual ~TimeObserver() = default;
+
+  /// The next event to execute carries timestamp `when` (>= the due time
+  /// this observer last returned). Returns the new due time; return
+  /// ~SimTime{0} to stop being called.
+  virtual SimTime OnTimeAdvance(SimTime when) = 0;
+
+  /// The simulator is being destroyed (benches keep per-run stack-local
+  /// simulators); `last_now` is its final virtual time. The observer must
+  /// not touch the simulator again.
+  virtual void OnSimulatorTearDown(SimTime last_now) { (void)last_now; }
+};
+
 /// \brief Discrete-event simulation core: a virtual clock plus an ordered
 /// event queue.
 ///
@@ -296,6 +323,18 @@ class Simulator {
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
   obs::TraceSink* trace_sink() const { return trace_; }
 
+  /// Attach a passive time observer (nullptr detaches): it is called back
+  /// just before the first event at or beyond `first_due` executes, and
+  /// thereafter per the due times it returns. Not owned; must outlive the
+  /// simulator or detach first (the destructor calls OnSimulatorTearDown).
+  /// Costs one predictable branch per event when detached; forces the
+  /// parallel backend into its (identical) serial merge when attached.
+  void set_time_observer(TimeObserver* obs, SimTime first_due) {
+    time_obs_ = obs;
+    obs_due_ = obs == nullptr ? ~SimTime{0} : first_due;
+  }
+  TimeObserver* time_observer() const { return time_obs_; }
+
  private:
   /// Legacy-layout heap event: by-value storage, no pooling. `key` is the
   /// canonical intra-domain order (local seq or cross stamp).
@@ -358,6 +397,15 @@ class Simulator {
   bool StepBoundedSingle(SimTime bound);  // classic single-domain hot path
   bool StepBoundedMerge(SimTime bound);   // serial merge of domain queues
 
+  /// Out-of-line slow path of the per-event observer check: `when` has
+  /// reached the observer's due time.
+  void NotifyTimeObserver(SimTime when) {
+    // `when >= obs_due_` with no observer only happens for an event at
+    // literally ~0 ns; keep that degenerate case from dereferencing null.
+    if (time_obs_ == nullptr) return;
+    obs_due_ = time_obs_->OnTimeAdvance(when);
+  }
+
   /// Earliest pending timestamp of `d` that is <= `deadline`, or
   /// TimerWheel::kNoEvent. May advance d's wheel clock (never past the
   /// inbox head or `deadline`).
@@ -378,6 +426,11 @@ class Simulator {
   bool force_serial_ = false;
   bool serial_fallback_warned_ = false;
   obs::TraceSink* trace_ = nullptr;
+  TimeObserver* time_obs_ = nullptr;
+  /// Next virtual time at which time_obs_ wants a callback; ~0 when no
+  /// observer is attached, so the hot-path `when >= obs_due_` check is a
+  /// single always-false branch in the common case.
+  SimTime obs_due_ = ~SimTime{0};
 
   std::vector<std::unique_ptr<Domain>> domains_;
   Domain* d0_ = nullptr;           // domains_[0], cached for the hot path

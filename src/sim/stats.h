@@ -36,6 +36,17 @@ class LatencyRecorder {
     sum_ += sample;
     ++count_;
     ++version_;
+    if (windowed_) {
+      if (win_count_ == 0) {
+        win_min_ = win_max_ = sample;
+      } else {
+        win_min_ = std::min(win_min_, sample);
+        win_max_ = std::max(win_max_, sample);
+      }
+      win_sum_ += sample;
+      ++win_count_;
+      win_hist_.Add(sample);
+    }
     if (overflowed_) {
       hist_.Add(sample);
       return;
@@ -52,6 +63,42 @@ class LatencyRecorder {
     bounded_ = true;
     sample_cap_ = std::max<size_t>(1, sample_cap);
     if (samples_.size() >= sample_cap_) SpillToHistogram();
+  }
+
+  /// \brief One sampling window's view: everything Add()ed since the last
+  /// TakeWindow() call. Percentiles carry the log2-bucket error bound
+  /// (~3.2% relative), clamped to the window's exact [min, max].
+  struct WindowStats {
+    uint64_t count = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p99 = 0;
+    double p999 = 0;
+  };
+
+  /// Opt into per-window accumulation (the time-series sampler's view).
+  /// Orthogonal to bounded mode; costs one branch per Add() plus a
+  /// histogram insert while enabled. Never enabled implicitly.
+  void EnableWindowTracking() { windowed_ = true; }
+  bool window_tracking() const { return windowed_; }
+
+  /// Snapshot-and-clear the current window. Requires EnableWindowTracking()
+  /// first; an empty window returns all zeros.
+  WindowStats TakeWindow() {
+    WindowStats w;
+    w.count = win_count_;
+    if (win_count_ > 0) {
+      w.min = win_min_;
+      w.max = win_max_;
+      w.mean = win_sum_ / static_cast<double>(win_count_);
+      w.p50 = std::clamp(win_hist_.Percentile(50), win_min_, win_max_);
+      w.p99 = std::clamp(win_hist_.Percentile(99), win_min_, win_max_);
+      w.p999 = std::clamp(win_hist_.Percentile(99.9), win_min_, win_max_);
+    }
+    ClearWindow();
+    return w;
   }
 
   size_t count() const { return count_; }
@@ -99,6 +146,7 @@ class LatencyRecorder {
     sum_ = 0;
     min_ = 0;
     max_ = 0;
+    ClearWindow();  // window tracking stays enabled across Clear()
     ++version_;
   }
 
@@ -123,9 +171,24 @@ class LatencyRecorder {
     ++version_;
   }
 
+  void ClearWindow() {
+    win_hist_.Clear();
+    win_count_ = 0;
+    win_sum_ = 0;
+    win_min_ = 0;
+    win_max_ = 0;
+  }
+
   mutable std::vector<double> samples_;
   uint64_t version_ = 0;
   mutable uint64_t sorted_version_ = 0;
+
+  bool windowed_ = false;
+  Log2Histogram win_hist_;
+  uint64_t win_count_ = 0;
+  double win_sum_ = 0;
+  double win_min_ = 0;
+  double win_max_ = 0;
 
   bool bounded_ = false;
   bool overflowed_ = false;

@@ -1,0 +1,121 @@
+#include "obs/flightrec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace xssd::obs {
+namespace {
+
+std::string TempPath(const char* stem) {
+  return ::testing::TempDir() + stem;
+}
+
+TEST(FlightRecorder, RecordsInOrderWithMonotonicSeq) {
+  FlightRecorder fr;
+  fr.Record(sim::Us(1), "fault", "program fail injected");
+  fr.Record(sim::Us(2), "ftl.gc", "gc collect block 7, valid=3");
+  fr.Record(sim::Us(3), "ha", "member 1 promoting at term 2");
+
+  std::vector<FlightRecorder::Entry> entries = fr.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].seq, 0u);
+  EXPECT_EQ(entries[1].seq, 1u);
+  EXPECT_EQ(entries[2].seq, 2u);
+  EXPECT_EQ(entries[0].category, "fault");
+  EXPECT_EQ(entries[2].message, "member 1 promoting at term 2");
+  EXPECT_EQ(fr.appended(), 3u);
+  EXPECT_EQ(fr.evicted(), 0u);
+}
+
+TEST(FlightRecorder, BoundedRingEvictsOldestFirst) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  FlightRecorder fr(options);
+  for (int i = 0; i < 10; ++i) {
+    fr.Record(sim::Us(i), "t", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.appended(), 10u);
+  EXPECT_EQ(fr.evicted(), 6u);
+  std::vector<FlightRecorder::Entry> entries = fr.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  // Oldest-first snapshot of the survivors: events 6..9.
+  EXPECT_EQ(entries.front().message, "event 6");
+  EXPECT_EQ(entries.front().seq, 6u);
+  EXPECT_EQ(entries.back().message, "event 9");
+  EXPECT_EQ(entries.back().seq, 9u);
+}
+
+TEST(FlightRecorder, DumpCarriesReasonCountsAndEntries) {
+  FlightRecorderOptions options;
+  options.capacity = 2;
+  FlightRecorder fr(options);
+  fr.Record(sim::Us(5), "fault", "crash clause fired at site gc (hard)");
+  fr.Record(sim::Us(6), "device", "pri hard crash");
+  fr.Record(sim::Us(7), "device", "pri reboot into epoch 2");
+
+  std::ostringstream out;
+  fr.Dump(out, "test dump");
+  std::string text = out.str();
+  EXPECT_NE(text.find("reason: test dump"), std::string::npos);
+  EXPECT_NE(text.find("3 recorded"), std::string::npos);
+  EXPECT_NE(text.find("1 evicted"), std::string::npos);
+  // Only the retained tail appears; the evicted entry does not.
+  EXPECT_EQ(text.find("crash clause fired"), std::string::npos);
+  EXPECT_NE(text.find("pri hard crash"), std::string::npos);
+  EXPECT_NE(text.find("pri reboot into epoch 2"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpToFileWritesTheRing) {
+  FlightRecorder fr;
+  fr.Record(sim::Ms(1), "watchdog", "rule cliff: ftl.write_amp > 1.5");
+  std::string path = TempPath("flightrec_dump.txt");
+  ASSERT_TRUE(fr.DumpToFile(path, "unit test").ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("rule cliff"), std::string::npos);
+  EXPECT_NE(buf.str().find("unit test"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, AutoDumpGoesToTheConfiguredPath) {
+  FlightRecorderOptions options;
+  options.dump_path = TempPath("flightrec_auto.txt");
+  FlightRecorder fr(options);
+  fr.Record(sim::Us(3), "fault", "uncorrectable flash read injected");
+  fr.AutoDump("injected crash at ftl.gc.relocate");
+  EXPECT_EQ(fr.auto_dumps(), 1u);
+
+  std::ifstream in(options.dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("injected crash at ftl.gc.relocate"),
+            std::string::npos);
+  EXPECT_NE(buf.str().find("uncorrectable flash read injected"),
+            std::string::npos);
+  std::remove(options.dump_path.c_str());
+}
+
+TEST(FlightRecorder, SelfMetricsAreObsNamespaced) {
+  FlightRecorderOptions options;
+  options.capacity = 2;
+  FlightRecorder fr(options);
+  MetricsRegistry registry;
+  fr.SetMetrics(&registry);
+  for (int i = 0; i < 5; ++i) fr.Record(sim::Us(i), "t", "e");
+  EXPECT_EQ(registry.FindCounter("obs.flightrec.appends")->value(), 5u);
+  EXPECT_EQ(registry.FindCounter("obs.flightrec.evicted")->value(), 3u);
+}
+
+}  // namespace
+}  // namespace xssd::obs

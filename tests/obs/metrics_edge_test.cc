@@ -1,0 +1,129 @@
+// Registry edge cases the sampler's correctness leans on: one kind per
+// name (a collision dies loudly instead of aliasing two series), Reset()
+// preserving registered pointers (components cache them), and the
+// sampler's Reset()-safe counter deltas across a mid-run reset.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace xssd::obs {
+namespace {
+
+TEST(MetricsEdgeDeathTest, EveryKindPairCollisionDies) {
+  // All six cross-kind orders: whichever kind claimed the name first, a
+  // later Get under another kind must CHECK-fail rather than return a
+  // fresh object that would silently fork the series.
+  EXPECT_DEATH(
+      {
+        MetricsRegistry r;
+        r.GetCounter("x.metric");
+        r.GetLatency("x.metric");
+      },
+      "CHECK failed");
+  EXPECT_DEATH(
+      {
+        MetricsRegistry r;
+        r.GetGauge("x.metric");
+        r.GetCounter("x.metric");
+      },
+      "CHECK failed");
+  EXPECT_DEATH(
+      {
+        MetricsRegistry r;
+        r.GetGauge("x.metric");
+        r.GetLatency("x.metric");
+      },
+      "CHECK failed");
+  EXPECT_DEATH(
+      {
+        MetricsRegistry r;
+        r.GetLatency("x.metric");
+        r.GetCounter("x.metric");
+      },
+      "CHECK failed");
+  EXPECT_DEATH(
+      {
+        MetricsRegistry r;
+        r.GetLatency("x.metric");
+        r.GetGauge("x.metric");
+      },
+      "CHECK failed");
+  EXPECT_DEATH(
+      {
+        MetricsRegistry r;
+        r.GetCounter("x.metric");
+        r.GetGauge("x.metric");
+      },
+      "CHECK failed");
+}
+
+TEST(MetricsEdge, ResetPreservesPointersAcrossContinuedUse) {
+  MetricsRegistry registry;
+  Counter* ops = registry.GetCounter("e.ops");
+  Gauge* depth = registry.GetGauge("e.depth");
+  LatencyRecorder* lat = registry.GetLatency("e.lat");
+  ops->Add(10);
+  depth->Set(4);
+  lat->Add(100);
+
+  registry.Reset();
+
+  // The cached pointers stay valid and live: components never re-Get.
+  EXPECT_EQ(ops->value(), 0u);
+  EXPECT_DOUBLE_EQ(depth->value(), 0.0);
+  EXPECT_EQ(lat->count(), 0u);
+  ops->Add(3);
+  depth->Set(9);
+  lat->Add(7);
+  EXPECT_EQ(registry.GetCounter("e.ops"), ops);
+  EXPECT_EQ(registry.GetGauge("e.depth"), depth);
+  EXPECT_EQ(registry.GetLatency("e.lat"), lat);
+  EXPECT_EQ(ops->value(), 3u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsEdge, LatencyWindowTrackingSurvivesReset) {
+  MetricsRegistry registry;
+  LatencyRecorder* lat = registry.GetLatency("e.lat");
+  lat->EnableWindowTracking();
+  lat->Add(500);
+  registry.Reset();  // Clear() must keep window tracking enabled
+  EXPECT_TRUE(lat->window_tracking());
+  lat->Add(900);
+  LatencyRecorder::WindowStats win = lat->TakeWindow();
+  EXPECT_EQ(win.count, 1u);
+  EXPECT_DOUBLE_EQ(win.min, 900.0);
+}
+
+TEST(MetricsEdge, SamplerCounterDeltaSpansAMidRunReset) {
+  sim::Simulator sim;
+  MetricsRegistry registry;
+  Counter* ops = registry.GetCounter("e.ops");
+  TimeSeriesSampler sampler(&sim, &registry, {sim::Ms(1), 4096});
+  sampler.Start();
+
+  // Window 0: 40 ops. Reset mid-window-1 after 10 more, then 7 post-reset
+  // ops: the delta must be the post-reset value (7), never a wrapped
+  // negative and never the pre-reset 10 leaking through.
+  sim.Schedule(sim::Us(500), [&]() { ops->Add(40); });
+  sim.Schedule(sim::Us(1200), [&]() { ops->Add(10); });
+  sim.Schedule(sim::Us(1300), [&]() { registry.Reset(); });
+  sim.Schedule(sim::Us(1400), [&]() { ops->Add(7); });
+  sim.Schedule(sim::Us(2100), [&]() {});
+  sim.Run();
+  sampler.Finalize();
+
+  const auto& series = sampler.counter_series().at("e.ops");
+  ASSERT_GE(series.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.values[0], 40.0);
+  EXPECT_DOUBLE_EQ(series.values[1], 7.0);
+}
+
+}  // namespace
+}  // namespace xssd::obs
